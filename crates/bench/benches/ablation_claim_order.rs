@@ -1,0 +1,41 @@
+//! Ablation: the decrement-pair *ordering* discipline.
+//!
+//! The in-counter always claims the inherited, higher-in-the-tree handle
+//! first, so higher SNZI nodes are decremented earlier — the mechanism of
+//! Lemma 4.6 (a node whose surplus returns to zero is never touched
+//! again), which underpins the O(1) contention bound (Theorem 4.9).
+//!
+//! This bench runs fanin with the order reversed (fresh, lower handle
+//! claimed first). Correctness is unaffected; the comparison isolates how
+//! much of the in-counter's performance comes from the ordering invariant
+//! rather than from tree growth alone.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsnzi_bench::workloads::fanin;
+use incounter::{DynConfig, DynSnzi};
+
+const N: u64 = 1 << 13;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_claim_order");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let workers = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
+    for threshold in [1u64, 100, 1000] {
+        let ordered = DynConfig::with_threshold(threshold);
+        let reversed = DynConfig::with_threshold(threshold).ablated_claim_order();
+        g.bench_with_input(BenchmarkId::new("ordered", threshold), &threshold, |b, _| {
+            b.iter(|| fanin::<DynSnzi>(ordered, workers, N, 0))
+        });
+        g.bench_with_input(BenchmarkId::new("reversed", threshold), &threshold, |b, _| {
+            b.iter(|| fanin::<DynSnzi>(reversed, workers, N, 0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

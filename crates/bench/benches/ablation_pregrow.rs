@@ -1,0 +1,37 @@
+//! Ablation: eager pre-growth vs on-demand growth.
+//!
+//! `grow` exists so the tree tracks the *actual* degree of concurrency.
+//! Pre-installing levels at counter creation (the Figure 13 substitution
+//! knob) trades allocation at setup for fewer grow calls later. For a
+//! single long-lived counter (fanin) the difference should be noise; for
+//! counter-per-level workloads (indegree2) eager allocation must hurt —
+//! the same asymmetry that sinks the fixed-depth baseline in Figure 10.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsnzi_bench::workloads::{fanin, indegree2};
+use incounter::{DynConfig, DynSnzi};
+
+const N: u64 = 1 << 12;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_pregrow");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let workers = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
+    for pregrow in [0u32, 2, 4] {
+        let cfg = DynConfig::with_threshold(1000).pregrow(pregrow);
+        g.bench_with_input(BenchmarkId::new("fanin", pregrow), &pregrow, |b, _| {
+            b.iter(|| fanin::<DynSnzi>(cfg, workers, N, 0))
+        });
+        g.bench_with_input(BenchmarkId::new("indegree2", pregrow), &pregrow, |b, _| {
+            b.iter(|| indegree2::<DynSnzi>(cfg, workers, N / 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

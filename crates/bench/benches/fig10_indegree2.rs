@@ -1,0 +1,37 @@
+//! Criterion counterpart of Figure 10: the indegree-2 benchmark creates a
+//! finish block per level, so per-counter setup cost dominates. Expected
+//! shape: fetch-and-add wins (cheapest setup), the in-counter stays within
+//! a small factor, fixed-depth SNZI pays for its eager trees and falls
+//! behind as depth grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsnzi_bench::Algo;
+
+const N: u64 = 1 << 12;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_indegree2");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for workers in [1usize, 2] {
+        for algo in [
+            Algo::FetchAdd,
+            Algo::Fixed { depth: 2 },
+            Algo::Fixed { depth: 4 },
+            Algo::incounter_default(workers),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), workers),
+                &workers,
+                |b, &w| b.iter(|| algo.run_indegree2(w, N)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

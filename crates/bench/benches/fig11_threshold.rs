@@ -1,0 +1,31 @@
+//! Criterion counterpart of Figure 11: the grow-threshold sweep
+//! (p = 1/threshold). The paper found a wide plateau of good settings
+//! (threshold 50..1000 on 40 cores); extreme settings pay either constant
+//! allocation (tiny threshold) or contention (huge threshold).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsnzi_bench::Algo;
+
+const N: u64 = 1 << 13;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_threshold");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let workers = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
+    for threshold in [1u64, 10, 100, 1_000, 100_000] {
+        let algo = Algo::incounter_threshold(threshold);
+        g.bench_with_input(
+            BenchmarkId::new("incounter", threshold),
+            &threshold,
+            |b, _| b.iter(|| algo.run_fanin(workers, N, 0)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

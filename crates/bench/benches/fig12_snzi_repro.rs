@@ -1,0 +1,34 @@
+//! Criterion counterpart of Figure 12 (the SNZI reproduction study):
+//! raw arrive/depart pairs on a shared counter, no dag. Expected shape:
+//! fetch-and-add fastest at 1 thread; with more threads the SNZI trees
+//! overtake it, deeper trees tolerating more threads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynsnzi_bench::workloads::{raw_counter_bench, RawCounter};
+
+const PAIRS: u64 = 50_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_snzi_repro");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for threads in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements(2 * PAIRS * threads as u64));
+        for (kind, name) in [
+            (RawCounter::FetchAdd, "fetch-add"),
+            (RawCounter::FixedSnzi { depth: 2 }, "snzi-depth-2"),
+            (RawCounter::FixedSnzi { depth: 5 }, "snzi-depth-5"),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+                b.iter(|| raw_counter_bench(kind, t, PAIRS))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion counterpart of Figure 14 (granularity study): fanin with
+//! dummy work at the leaves. Expected shape: at fine grain the counter
+//! algorithm dominates run time and the in-counter wins; as per-task work
+//! grows the algorithms converge.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsnzi_bench::Algo;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_granularity");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let workers = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
+    for leaf_work in [1u64, 100, 10_000] {
+        let n: u64 = match leaf_work {
+            10_000 => 1 << 9,
+            _ => 1 << 12,
+        };
+        for algo in [Algo::FetchAdd, Algo::incounter_default(workers)] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), leaf_work),
+                &leaf_work,
+                |b, &wk| b.iter(|| algo.run_fanin(workers, n, wk)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

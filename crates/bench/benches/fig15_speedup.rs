@@ -1,0 +1,32 @@
+//! Criterion counterpart of Figures 15a–15e: fanin with fixed per-task
+//! dummy work at increasing worker counts. Expected shape: with real work
+//! per task, adding workers speeds all algorithms up, with the in-counter
+//! keeping the edge that shrinks as grain grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsnzi_bench::Algo;
+
+const N: u64 = 1 << 11;
+const LEAF_WORK: u64 = 1_000; // the Figure 15d panel
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_speedup");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for workers in [1usize, 2, 4] {
+        for algo in [Algo::FetchAdd, Algo::Fixed { depth: 9 }, Algo::incounter_default(workers)] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), workers),
+                &workers,
+                |b, &w| b.iter(|| algo.run_fanin(w, N, LEAF_WORK)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion counterpart of Figure 8: fanin under every counter algorithm
+//! at increasing worker counts. The paper-shape expectation: fetch-and-add
+//! is competitive at 1 worker and degrades fastest as workers are added;
+//! the in-counter stays flat.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsnzi_bench::Algo;
+
+const N: u64 = 1 << 13;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fanin_scaling");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for workers in [1usize, 2, 4] {
+        for algo in [
+            Algo::FetchAdd,
+            Algo::Fixed { depth: 2 },
+            Algo::Fixed { depth: 6 },
+            Algo::incounter_default(workers),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), workers),
+                &workers,
+                |b, &w| b.iter(|| algo.run_fanin(w, N, 0)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

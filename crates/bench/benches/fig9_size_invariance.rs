@@ -1,0 +1,28 @@
+//! Criterion counterpart of Figure 9: the in-counter's throughput per core
+//! should be (near-)invariant in the input size n — Theorem 4.9 made
+//! measurable. Criterion's Throughput::Elements view reports ops/s; a flat
+//! rate across n is the expected shape.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynsnzi_bench::{workloads::fanin_ops, Algo};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_size_invariance");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let workers = 2;
+    let algo = Algo::incounter_default(workers);
+    for n in [1u64 << 10, 1 << 12, 1 << 14, 1 << 16] {
+        g.throughput(Throughput::Elements(fanin_ops(n)));
+        g.bench_with_input(BenchmarkId::new("incounter", n), &n, |b, &n| {
+            b.iter(|| algo.run_fanin(workers, n, 0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

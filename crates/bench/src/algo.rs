@@ -1,0 +1,145 @@
+//! The algorithms under comparison, as a runtime-selectable enum.
+
+use std::time::Duration;
+
+use incounter::{DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
+
+use crate::workloads;
+
+/// A counter algorithm configuration selectable from the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Single-cell fetch-and-add.
+    FetchAdd,
+    /// Fixed-depth SNZI tree of the given depth.
+    Fixed {
+        /// Tree depth `d` (2^(d+1) − 1 nodes per finish block).
+        depth: u32,
+    },
+    /// The paper's in-counter with growth probability `1/threshold` and
+    /// `pregrow` levels installed eagerly at counter creation.
+    InCounter {
+        /// `p = 1/threshold`; `threshold ≤ 1` means grow always.
+        threshold: u64,
+        /// Eagerly installed levels (0 = the paper's algorithm; >0 is the
+        /// placement-policy A/B of the Figure 13 substitution).
+        pregrow: u32,
+    },
+}
+
+impl Algo {
+    /// The default in-counter setting. The paper uses `threshold =
+    /// 25·cores` on a 40-core machine, i.e. an absolute threshold of 1000;
+    /// on machines with few cores the literal formula lands below the
+    /// good-threshold plateau (see Figure 11), so the default takes the
+    /// larger of the formula and 1000.
+    pub fn incounter_default(workers: usize) -> Algo {
+        Algo::InCounter { threshold: (25 * workers.max(1) as u64).max(1000), pregrow: 0 }
+    }
+
+    /// In-counter with an explicit threshold (Figure 11's sweep).
+    pub fn incounter_threshold(threshold: u64) -> Algo {
+        Algo::InCounter { threshold, pregrow: 0 }
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> String {
+        match self {
+            Algo::FetchAdd => "fetch-add".to_string(),
+            Algo::Fixed { depth } => format!("snzi-depth-{depth}"),
+            Algo::InCounter { threshold, pregrow: 0 } => {
+                format!("incounter-t{threshold}")
+            }
+            Algo::InCounter { threshold, pregrow } => {
+                format!("incounter-t{threshold}-pregrow{pregrow}")
+            }
+        }
+    }
+
+    /// Short family name for the result files (`algo` key).
+    pub fn family(&self) -> &'static str {
+        match self {
+            Algo::FetchAdd => "fetch-add",
+            Algo::Fixed { .. } => "snzi-fixed",
+            Algo::InCounter { .. } => "incounter",
+        }
+    }
+
+    fn dyn_config(threshold: u64, pregrow: u32) -> DynConfig {
+        DynConfig::with_threshold(threshold).pregrow(pregrow)
+    }
+
+    /// Run the fanin benchmark under this algorithm.
+    pub fn run_fanin(&self, workers: usize, n: u64, leaf_work: u64) -> Duration {
+        match *self {
+            Algo::FetchAdd => workloads::fanin::<FetchAdd>((), workers, n, leaf_work),
+            Algo::Fixed { depth } => {
+                workloads::fanin::<FixedDepth>(FixedConfig { depth }, workers, n, leaf_work)
+            }
+            Algo::InCounter { threshold, pregrow } => workloads::fanin::<DynSnzi>(
+                Self::dyn_config(threshold, pregrow),
+                workers,
+                n,
+                leaf_work,
+            ),
+        }
+    }
+
+    /// Run the indegree2 benchmark under this algorithm.
+    pub fn run_indegree2(&self, workers: usize, n: u64) -> Duration {
+        match *self {
+            Algo::FetchAdd => workloads::indegree2::<FetchAdd>((), workers, n),
+            Algo::Fixed { depth } => {
+                workloads::indegree2::<FixedDepth>(FixedConfig { depth }, workers, n)
+            }
+            Algo::InCounter { threshold, pregrow } => workloads::indegree2::<DynSnzi>(
+                Self::dyn_config(threshold, pregrow),
+                workers,
+                n,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algo::FetchAdd.name(), "fetch-add");
+        assert_eq!(Algo::Fixed { depth: 4 }.name(), "snzi-depth-4");
+        assert_eq!(Algo::incounter_threshold(100).name(), "incounter-t100");
+        assert_eq!(
+            Algo::InCounter { threshold: 50, pregrow: 2 }.name(),
+            "incounter-t50-pregrow2"
+        );
+    }
+
+    #[test]
+    fn default_threshold_scales_with_workers_with_floor() {
+        match Algo::incounter_default(4) {
+            Algo::InCounter { threshold, .. } => assert_eq!(threshold, 1000),
+            other => panic!("unexpected {other:?}"),
+        }
+        match Algo::incounter_default(64) {
+            Algo::InCounter { threshold, .. } => assert_eq!(threshold, 1600),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_algo_runs_both_benchmarks() {
+        for algo in [
+            Algo::FetchAdd,
+            Algo::Fixed { depth: 2 },
+            Algo::incounter_default(2),
+            Algo::InCounter { threshold: 1, pregrow: 1 },
+        ] {
+            let d = algo.run_fanin(2, 128, 0);
+            assert!(d.as_nanos() > 0, "{}", algo.name());
+            let d = algo.run_indegree2(2, 64);
+            assert!(d.as_nanos() > 0, "{}", algo.name());
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The evaluation harness: regenerates every figure of the paper.
+//!
+//! ```text
+//! harness <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|all> [flags]
+//!
+//! flags:
+//!   --n <N>            benchmark size (default: 131072; paper: 8388608)
+//!   --runs <R>         repetitions per configuration, median reported (default 3)
+//!   --max-workers <W>  highest worker count swept (default: 2 × hardware threads)
+//!   --pairs <P>        arrive/depart pairs per thread in fig12 (default 200000)
+//!   --outdir <DIR>     where results/*.txt go (default ./results)
+//!   --paper            use the paper's n = 8M
+//!   --quick            tiny sizes for a smoke run
+//! ```
+//!
+//! Each figure prints a human-readable series table (same axes as the
+//! paper) and appends artifact-format records (Appendix D.5) to
+//! `results/figN.txt`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use dynsnzi_bench::report::{fmt_throughput, print_row, Record, Reporter};
+use dynsnzi_bench::sweep::{median_duration, run_repeated, throughput_per_core, MeasureOpts};
+use dynsnzi_bench::workloads::{
+    calibrate_dummy_unit_ns, fanin_ops, indegree2_ops, raw_counter_bench, RawCounter,
+};
+use dynsnzi_bench::Algo;
+
+struct Opts {
+    figures: Vec<String>,
+    measure: MeasureOpts,
+    pairs: u64,
+    outdir: PathBuf,
+}
+
+fn parse_args() -> Opts {
+    let mut measure = MeasureOpts::auto();
+    let mut figures = Vec::new();
+    let mut pairs = 200_000u64;
+    let mut outdir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--n" => measure.n = args.next().expect("--n N").parse().expect("numeric --n"),
+            "--runs" => {
+                measure.runs = args.next().expect("--runs R").parse().expect("numeric --runs")
+            }
+            "--max-workers" => {
+                measure.max_workers =
+                    args.next().expect("--max-workers W").parse().expect("numeric")
+            }
+            "--pairs" => pairs = args.next().expect("--pairs P").parse().expect("numeric"),
+            "--outdir" => outdir = PathBuf::from(args.next().expect("--outdir DIR")),
+            "--paper" => measure = measure.paper_scale(),
+            "--quick" => {
+                measure.n = 1 << 12;
+                measure.runs = 1;
+                pairs = 20_000;
+            }
+            "--help" | "-h" => {
+                println!("see module docs: harness <fig8..fig15|all> [--n N] [--runs R] ...");
+                std::process::exit(0);
+            }
+            fig if fig.starts_with("fig") || fig == "all" => figures.push(fig.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_string());
+    }
+    Opts { figures, measure, pairs, outdir }
+}
+
+fn main() {
+    let opts = parse_args();
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    println!("# dynsnzi evaluation harness");
+    println!(
+        "# cores={cores} max_workers={} n={} runs={} dummy_unit≈{:.2}ns",
+        opts.measure.max_workers,
+        opts.measure.n,
+        opts.measure.runs,
+        calibrate_dummy_unit_ns()
+    );
+    let all = opts.figures.iter().any(|f| f == "all");
+    let want = |f: &str| all || opts.figures.iter().any(|g| g == f);
+    if want("fig8") {
+        fig8(&opts);
+    }
+    if want("fig9") {
+        fig9(&opts);
+    }
+    if want("fig10") {
+        fig10(&opts);
+    }
+    if want("fig11") {
+        fig11(&opts);
+    }
+    if want("fig12") {
+        fig12(&opts);
+    }
+    if want("fig13") {
+        fig13(&opts);
+    }
+    if want("fig14") {
+        fig14(&opts);
+    }
+    if want("fig15") {
+        fig15(&opts);
+    }
+}
+
+/// Median-of-runs with one discarded warm-up run.
+fn measure(runs: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    let _warmup = f();
+    median_duration(&run_repeated(runs, &mut f))
+}
+
+fn record_fanin(
+    rep: &mut Reporter,
+    algo: &Algo,
+    workers: usize,
+    n: u64,
+    leaf_work: u64,
+    elapsed: Duration,
+) {
+    let mut r = Record::new("fanin", algo.family());
+    r.input("algo_full", algo.name())
+        .input("proc", workers)
+        .input("n", n)
+        .input("leaf_work", leaf_work);
+    if let Algo::InCounter { threshold, pregrow } = algo {
+        r.input("threshold", threshold).input("pregrow", pregrow);
+    }
+    if let Algo::Fixed { depth } = algo {
+        r.input("depth", depth);
+    }
+    r.output("exectime", format!("{:.6}", elapsed.as_secs_f64())).output(
+        "throughput_per_core",
+        format!("{:.1}", throughput_per_core(fanin_ops(n), elapsed, workers)),
+    );
+    #[cfg(feature = "global-stats")]
+    {
+        r.output("nb_incounter_nodes", snzi::stats::global::live_nodes());
+        snzi::stats::global::reset();
+    }
+    rep.record(&r);
+}
+
+/// Figure 8: fanin throughput per core vs worker count, all algorithms.
+fn fig8(opts: &Opts) {
+    println!(
+        "\n## Figure 8 — fanin, n={}, throughput/core vs workers (higher is better)",
+        opts.measure.n
+    );
+    let mut rep = Reporter::create(&opts.outdir, "fig8").expect("results dir");
+    let workers = opts.measure.worker_counts();
+    let mut algos: Vec<Algo> = vec![Algo::FetchAdd];
+    for d in 1..=9 {
+        algos.push(Algo::Fixed { depth: d });
+    }
+    let mut header = vec!["algo \\ workers".to_string()];
+    header.extend(workers.iter().map(|w| w.to_string()));
+    print_row(&header);
+    for algo_kind in 0..=algos.len() {
+        // Last row: the in-counter, whose threshold tracks the worker count.
+        let mut cols = Vec::new();
+        for &w in &workers {
+            let algo = if algo_kind < algos.len() {
+                algos[algo_kind]
+            } else {
+                Algo::incounter_default(w)
+            };
+            let t = measure(opts.measure.runs, || algo.run_fanin(w, opts.measure.n, 0));
+            record_fanin(&mut rep, &algo, w, opts.measure.n, 0, t);
+            cols.push(fmt_throughput(throughput_per_core(fanin_ops(opts.measure.n), t, w)));
+        }
+        let name = if algo_kind < algos.len() {
+            algos[algo_kind].name()
+        } else {
+            "incounter".to_string()
+        };
+        let mut row = vec![name];
+        row.extend(cols);
+        print_row(&row);
+    }
+    println!("# wrote {}", rep.path().display());
+}
+
+/// Figure 9: size invariance — in-counter throughput/core vs n.
+fn fig9(opts: &Opts) {
+    println!("\n## Figure 9 — fanin size-invariance: in-counter throughput/core vs n");
+    let mut rep = Reporter::create(&opts.outdir, "fig9").expect("results dir");
+    let workers = opts.measure.worker_counts();
+    let mut sizes = Vec::new();
+    let mut n = 1u64 << 12;
+    while n <= opts.measure.n {
+        sizes.push(n);
+        n *= 4;
+    }
+    if *sizes.last().unwrap() != opts.measure.n {
+        sizes.push(opts.measure.n);
+    }
+    let mut header = vec!["workers \\ n".to_string()];
+    header.extend(sizes.iter().map(|s| s.to_string()));
+    print_row(&header);
+    for &w in &workers {
+        let algo = Algo::incounter_default(w);
+        let mut row = vec![format!("incounter w={w}")];
+        for &size in &sizes {
+            let t = measure(opts.measure.runs, || algo.run_fanin(w, size, 0));
+            record_fanin(&mut rep, &algo, w, size, 0, t);
+            row.push(fmt_throughput(throughput_per_core(fanin_ops(size), t, w)));
+        }
+        print_row(&row);
+    }
+    // Reference: single-core fetch-and-add (the paper's "within factor 2").
+    let t = measure(opts.measure.runs, || Algo::FetchAdd.run_fanin(1, opts.measure.n, 0));
+    record_fanin(&mut rep, &Algo::FetchAdd, 1, opts.measure.n, 0, t);
+    print_row(&[
+        "fetch-add w=1".to_string(),
+        fmt_throughput(throughput_per_core(fanin_ops(opts.measure.n), t, 1)),
+    ]);
+    println!("# wrote {}", rep.path().display());
+}
+
+/// Figure 10: indegree2 throughput/core vs worker count.
+fn fig10(opts: &Opts) {
+    let n = (opts.measure.n / 2).max(1024);
+    println!("\n## Figure 10 — indegree2, n={n}, throughput/core vs workers");
+    let mut rep = Reporter::create(&opts.outdir, "fig10").expect("results dir");
+    let workers = opts.measure.worker_counts();
+    let mut header = vec!["algo \\ workers".to_string()];
+    header.extend(workers.iter().map(|w| w.to_string()));
+    print_row(&header);
+    let static_algos = [Algo::FetchAdd, Algo::Fixed { depth: 2 }, Algo::Fixed { depth: 4 }];
+    for idx in 0..=static_algos.len() {
+        let mut cols = Vec::new();
+        let mut label = String::new();
+        for &w in &workers {
+            let algo = if idx < static_algos.len() {
+                static_algos[idx]
+            } else {
+                Algo::incounter_default(w)
+            };
+            label = if idx < static_algos.len() { algo.name() } else { "incounter".to_string() };
+            let t = measure(opts.measure.runs, || algo.run_indegree2(w, n));
+            let mut r = Record::new("indegree2", algo.family());
+            r.input("algo_full", algo.name()).input("proc", w).input("n", n);
+            r.output("exectime", format!("{:.6}", t.as_secs_f64())).output(
+                "throughput_per_core",
+                format!("{:.1}", throughput_per_core(indegree2_ops(n), t, w)),
+            );
+            rep.record(&r);
+            cols.push(fmt_throughput(throughput_per_core(indegree2_ops(n), t, w)));
+        }
+        let mut row = vec![label];
+        row.extend(cols);
+        print_row(&row);
+    }
+    println!("# wrote {}", rep.path().display());
+}
+
+/// Figure 11: the threshold study (p = 1/threshold) at max workers.
+fn fig11(opts: &Opts) {
+    let w = opts.measure.max_workers;
+    println!("\n## Figure 11 — fanin threshold study at {w} workers, n={}", opts.measure.n);
+    let mut rep = Reporter::create(&opts.outdir, "fig11").expect("results dir");
+    print_row(&["threshold".to_string(), "ops/s/core".to_string()]);
+    for threshold in [10u64, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 1_000_000] {
+        let algo = Algo::incounter_threshold(threshold);
+        let t = measure(opts.measure.runs, || algo.run_fanin(w, opts.measure.n, 0));
+        record_fanin(&mut rep, &algo, w, opts.measure.n, 0, t);
+        print_row(&[
+            threshold.to_string(),
+            fmt_throughput(throughput_per_core(fanin_ops(opts.measure.n), t, w)),
+        ]);
+    }
+    println!("# wrote {}", rep.path().display());
+}
+
+/// Figure 12: SNZI reproduction study — raw counter ops, no dag.
+fn fig12(opts: &Opts) {
+    println!(
+        "\n## Figure 12 — raw counter microbenchmark ({} arrive/depart pairs per thread)",
+        opts.pairs
+    );
+    let mut rep = Reporter::create(&opts.outdir, "fig12").expect("results dir");
+    let threads: Vec<usize> = {
+        let mut v = vec![1usize];
+        while *v.last().unwrap() < opts.measure.max_workers {
+            v.push((v.last().unwrap() * 2).min(opts.measure.max_workers));
+        }
+        v.dedup();
+        v
+    };
+    let mut header = vec!["counter \\ threads".to_string()];
+    header.extend(threads.iter().map(|t| t.to_string()));
+    print_row(&header);
+    let mut kinds = vec![(RawCounter::FetchAdd, "fetch-add".to_string())];
+    for d in 1..=5 {
+        kinds.push((RawCounter::FixedSnzi { depth: d }, format!("snzi-depth-{d}")));
+    }
+    for (kind, name) in kinds {
+        let mut row = vec![name.clone()];
+        for &t in &threads {
+            let elapsed = measure(opts.measure.runs, || raw_counter_bench(kind, t, opts.pairs));
+            let ops = 2 * t as u64 * opts.pairs;
+            let mut r = Record::new("raw-counter", &name);
+            r.input("proc", t).input("pairs", opts.pairs);
+            r.output("exectime", format!("{:.6}", elapsed.as_secs_f64())).output(
+                "throughput_per_core",
+                format!("{:.1}", throughput_per_core(ops, elapsed, t)),
+            );
+            rep.record(&r);
+            row.push(fmt_throughput(throughput_per_core(ops, elapsed, t)));
+        }
+        print_row(&row);
+    }
+    println!("# wrote {}", rep.path().display());
+}
+
+/// Figure 13 substitution: node-placement policy A/B (first-touch growth
+/// vs eager remote pre-placement). The paper's NUMA study was a null
+/// result; the check here is that the two policies coincide too.
+fn fig13(opts: &Opts) {
+    println!(
+        "\n## Figure 13 (substituted) — node placement policy A/B, fanin n={}",
+        opts.measure.n
+    );
+    let mut rep = Reporter::create(&opts.outdir, "fig13").expect("results dir");
+    let workers = opts.measure.worker_counts();
+    let mut header = vec!["policy \\ workers".to_string()];
+    header.extend(workers.iter().map(|w| w.to_string()));
+    print_row(&header);
+    for pregrow in [0u32, 2] {
+        let mut row =
+            vec![if pregrow == 0 { "first-touch".to_string() } else { "pre-placed".to_string() }];
+        for &w in &workers {
+            let algo = Algo::InCounter { threshold: 25 * w as u64, pregrow };
+            let t = measure(opts.measure.runs, || algo.run_fanin(w, opts.measure.n, 0));
+            record_fanin(&mut rep, &algo, w, opts.measure.n, 0, t);
+            row.push(fmt_throughput(throughput_per_core(fanin_ops(opts.measure.n), t, w)));
+        }
+        print_row(&row);
+    }
+    println!("# wrote {}", rep.path().display());
+}
+
+/// Choose an n that keeps total dummy work bounded as work per task grows.
+fn grain_n(base_n: u64, leaf_work: u64) -> u64 {
+    let budget_ns: u64 = 800_000_000; // ≈0.8 s of single-core dummy work
+    base_n.min(budget_ns / leaf_work.max(1)).max(1024)
+}
+
+/// Figure 14: speedup of each algorithm over fetch-and-add at max workers,
+/// as per-task dummy work varies.
+fn fig14(opts: &Opts) {
+    let w = opts.measure.max_workers;
+    println!("\n## Figure 14 — granularity study at {w} workers (speedup vs fetch-add)");
+    let mut rep = Reporter::create(&opts.outdir, "fig14").expect("results dir");
+    print_row(&[
+        "work(ns)".to_string(),
+        "n".to_string(),
+        "fetch-add".to_string(),
+        "snzi-depth-9".to_string(),
+        "incounter".to_string(),
+    ]);
+    for leaf_work in [1u64, 10, 100, 1_000, 10_000] {
+        let n = grain_n(opts.measure.n, leaf_work);
+        let t_fa = measure(opts.measure.runs, || Algo::FetchAdd.run_fanin(w, n, leaf_work));
+        record_fanin(&mut rep, &Algo::FetchAdd, w, n, leaf_work, t_fa);
+        let mut row = vec![leaf_work.to_string(), n.to_string(), "1.00".to_string()];
+        for algo in [Algo::Fixed { depth: 9 }, Algo::incounter_default(w)] {
+            let t = measure(opts.measure.runs, || algo.run_fanin(w, n, leaf_work));
+            record_fanin(&mut rep, &algo, w, n, leaf_work, t);
+            row.push(format!("{:.2}", t_fa.as_secs_f64() / t.as_secs_f64()));
+        }
+        print_row(&row);
+    }
+    println!("# wrote {}", rep.path().display());
+}
+
+/// Figure 15 (a–e): speedup over single-core fetch-and-add vs worker
+/// count, one panel per dummy-work amount.
+fn fig15(opts: &Opts) {
+    println!("\n## Figure 15 — speedup vs workers at fixed dummy work (baseline: fetch-add @1)");
+    let mut rep = Reporter::create(&opts.outdir, "fig15").expect("results dir");
+    let workers = opts.measure.worker_counts();
+    for leaf_work in [1u64, 10, 100, 1_000, 10_000] {
+        let n = grain_n(opts.measure.n, leaf_work);
+        println!("# panel: {leaf_work} ns dummy work per task, n={n}");
+        let base = measure(opts.measure.runs, || Algo::FetchAdd.run_fanin(1, n, leaf_work));
+        record_fanin(&mut rep, &Algo::FetchAdd, 1, n, leaf_work, base);
+        let mut header = vec!["algo \\ workers".to_string()];
+        header.extend(workers.iter().map(|w| w.to_string()));
+        print_row(&header);
+        for idx in 0..3 {
+            let mut row = Vec::new();
+            let mut label = String::new();
+            for &w in &workers {
+                let algo = match idx {
+                    0 => Algo::FetchAdd,
+                    1 => Algo::Fixed { depth: 9 },
+                    _ => Algo::incounter_default(w),
+                };
+                label = if idx == 2 { "incounter".to_string() } else { algo.name() };
+                let t = measure(opts.measure.runs, || algo.run_fanin(w, n, leaf_work));
+                record_fanin(&mut rep, &algo, w, n, leaf_work, t);
+                row.push(format!("{:.2}", base.as_secs_f64() / t.as_secs_f64()));
+            }
+            let mut cols = vec![label];
+            cols.extend(row);
+            print_row(&cols);
+        }
+    }
+    println!("# wrote {}", rep.path().display());
+}

@@ -1,0 +1,30 @@
+//! # dynsnzi-bench — the evaluation harness
+//!
+//! Regenerates every figure of the paper's evaluation (Section 5 and the
+//! appendix) on this machine:
+//!
+//! | figure | experiment | harness subcommand |
+//! |---|---|---|
+//! | 8  | fanin throughput/core vs worker count, all algorithms | `fig8` |
+//! | 9  | size invariance: in-counter throughput/core vs `n` | `fig9` |
+//! | 10 | indegree2 throughput/core vs worker count | `fig10` |
+//! | 11 | grow-threshold sweep at max workers | `fig11` |
+//! | 12 | SNZI reproduction study (raw counter microbenchmark) | `fig12` |
+//! | 13 | NUMA substitution: node-placement policy A/B | `fig13` |
+//! | 14 | granularity: speedup vs per-task dummy work | `fig14` |
+//! | 15 | speedup vs workers at fixed dummy work (a–e) | `fig15` |
+//!
+//! Results are printed as human-readable series (one row per measurement,
+//! matching the paper's axes) *and* appended to `results/*.txt` in the
+//! ad-hoc key/value format of the paper's artifact (Appendix D.5).
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod report;
+pub mod sweep;
+pub mod workloads;
+
+pub use algo::Algo;
+pub use report::{Record, Reporter};
+pub use sweep::{median_duration, run_repeated, MeasureOpts};

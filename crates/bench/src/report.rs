@@ -1,0 +1,171 @@
+//! Result reporting in the paper artifact's ad-hoc key/value format
+//! (Appendix D.5) plus human-readable series tables.
+//!
+//! One measurement is one block:
+//!
+//! ```text
+//! ==========
+//! machine myhost
+//! prog harness
+//! bench fanin
+//! algo incounter
+//! proc 2
+//! threshold 50
+//! n 16777216
+//! ---
+//! exectime 4.235
+//! throughput_per_core 1981132.1
+//! nb_steals 12
+//! ==========
+//! ```
+
+use std::fmt::Write as _;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One measurement record: inputs above the `---`, outputs below.
+#[derive(Debug, Clone, Default)]
+pub struct Record {
+    inputs: Vec<(String, String)>,
+    outputs: Vec<(String, String)>,
+}
+
+impl Record {
+    /// Start a record for a named benchmark and algorithm.
+    pub fn new(bench: &str, algo: &str) -> Record {
+        let mut r = Record::default();
+        r.input("machine", hostname());
+        r.input("prog", "harness");
+        r.input("bench", bench);
+        r.input("algo", algo);
+        r
+    }
+
+    /// Add an input key (appears above the `---`).
+    pub fn input(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.inputs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Add an output key (appears below the `---`).
+    pub fn output(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.outputs.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Render the block in the artifact format.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("==========\n");
+        for (k, v) in &self.inputs {
+            let _ = writeln!(s, "{k} {v}");
+        }
+        s.push_str("---\n");
+        for (k, v) in &self.outputs {
+            let _ = writeln!(s, "{k} {v}");
+        }
+        s.push_str("==========\n");
+        s
+    }
+}
+
+fn hostname() -> String {
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            fs::read_to_string("/etc/hostname")
+                .ok()
+                .map(|s| s.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Collects records into a results file and mirrors series rows to stdout.
+pub struct Reporter {
+    path: PathBuf,
+    file: File,
+}
+
+impl Reporter {
+    /// Create (or truncate) `results/<name>.txt` under `dir`.
+    pub fn create(dir: &Path, name: &str) -> std::io::Result<Reporter> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.txt"));
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        Ok(Reporter { path, file })
+    }
+
+    /// Append one record block.
+    pub fn record(&mut self, record: &Record) {
+        let _ = self.file.write_all(record.render().as_bytes());
+        let _ = self.file.flush();
+    }
+
+    /// Where the records are being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Print a right-aligned series table row (human-readable output).
+pub fn print_row(cols: &[String]) {
+    let rendered: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", rendered.join(" "));
+}
+
+/// Format a throughput figure compactly.
+pub fn fmt_throughput(ops_per_sec_per_core: f64) -> String {
+    if ops_per_sec_per_core >= 1e6 {
+        format!("{:.2}M", ops_per_sec_per_core / 1e6)
+    } else if ops_per_sec_per_core >= 1e3 {
+        format!("{:.1}k", ops_per_sec_per_core / 1e3)
+    } else {
+        format!("{ops_per_sec_per_core:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_renders_artifact_format() {
+        let mut r = Record::new("fanin", "incounter");
+        r.input("proc", 2).input("n", 1024);
+        r.output("exectime", "0.123").output("nb_steals", 7);
+        let s = r.render();
+        assert!(s.starts_with("==========\n"));
+        assert!(s.contains("bench fanin\n"));
+        assert!(s.contains("algo incounter\n"));
+        assert!(s.contains("proc 2\n"));
+        assert!(s.contains("---\n"));
+        assert!(s.contains("exectime 0.123\n"));
+        assert!(s.ends_with("==========\n"));
+        // Inputs come before the separator, outputs after.
+        let sep = s.find("---").unwrap();
+        assert!(s.find("proc 2").unwrap() < sep);
+        assert!(s.find("nb_steals 7").unwrap() > sep);
+    }
+
+    #[test]
+    fn reporter_writes_file() {
+        let dir = std::env::temp_dir().join("dynsnzi-bench-test");
+        let mut rep = Reporter::create(&dir, "unit").unwrap();
+        let mut r = Record::new("fanin", "fetch-add");
+        r.output("exectime", 1);
+        rep.record(&r);
+        let content = std::fs::read_to_string(rep.path()).unwrap();
+        assert!(content.contains("bench fanin"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn throughput_formatting() {
+        assert_eq!(fmt_throughput(2_500_000.0), "2.50M");
+        assert_eq!(fmt_throughput(12_300.0), "12.3k");
+        assert_eq!(fmt_throughput(42.0), "42");
+    }
+}

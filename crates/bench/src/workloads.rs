@@ -1,0 +1,252 @@
+//! The paper's benchmark programs (Figures 6 and 7) plus the raw-counter
+//! microbenchmark of the SNZI reproduction study (Appendix C.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use incounter::CounterFamily;
+use snzi::FixedSnzi;
+use spdag::{run_dag, Ctx};
+
+/// Calibrated busy work: roughly `units` nanoseconds of arithmetic on this
+/// machine (the paper: "each unit of dummy work takes approximately one
+/// nanosecond").
+#[inline]
+pub fn dummy_work(units: u64) {
+    let mut acc = 0u64;
+    for i in 0..units {
+        // A dependent multiply-add chain defeats vectorisation so each
+        // iteration costs on the order of a nanosecond.
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        std::hint::black_box(&acc);
+    }
+    std::hint::black_box(acc);
+}
+
+/// Measure the cost of one `dummy_work` unit in nanoseconds (reported next
+/// to granularity results so readers can convert the x-axis).
+pub fn calibrate_dummy_unit_ns() -> f64 {
+    let iters = 3_000_000u64;
+    let t0 = Instant::now();
+    dummy_work(iters);
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn fanin_rec<C: CounterFamily>(ctx: Ctx<'_, C>, n: u64, leaf_work: u64) {
+    if n >= 2 {
+        ctx.spawn(
+            move |c| fanin_rec(c, n / 2, leaf_work),
+            move |c| fanin_rec(c, n / 2, leaf_work),
+        );
+    } else if leaf_work > 0 {
+        dummy_work(leaf_work);
+    }
+}
+
+/// The fanin benchmark (Figure 6): one finish block, `n` leaf strands all
+/// synchronising on a single dependency counter — the maximal-contention
+/// pattern of a parallel for. `leaf_work` adds the granularity study's
+/// dummy work at each leaf (0 for the pure synchronisation benchmark).
+///
+/// Returns the wall-clock time of the run.
+pub fn fanin<C: CounterFamily>(
+    cfg: C::Config,
+    workers: usize,
+    n: u64,
+    leaf_work: u64,
+) -> Duration {
+    run_dag::<C, _>(cfg, workers, move |ctx| fanin_rec(ctx, n, leaf_work)).elapsed
+}
+
+/// Counter operations performed by `fanin(n)`: one increment per spawn
+/// (`n − 1`) and one decrement per strand termination (`n`), i.e. ~`2n`.
+pub fn fanin_ops(n: u64) -> u64 {
+    if n < 2 {
+        return 1;
+    }
+    2 * n - 1
+}
+
+fn indegree2_rec<C: CounterFamily>(ctx: Ctx<'_, C>, n: u64) {
+    if n >= 2 {
+        ctx.chain(
+            move |c| {
+                c.spawn(move |c2| indegree2_rec(c2, n / 2), move |c2| indegree2_rec(c2, n / 2));
+            },
+            move |_| {},
+        );
+    }
+}
+
+/// The indegree2 benchmark (Figure 7): the same `n`-leaf pattern as fanin
+/// but with a fresh finish block at every level, so every dependency
+/// counter sees indegree exactly 2. This isolates per-counter *setup*
+/// cost: the fixed-depth baseline must allocate a whole tree per level.
+pub fn indegree2<C: CounterFamily>(cfg: C::Config, workers: usize, n: u64) -> Duration {
+    run_dag::<C, _>(cfg, workers, move |ctx| indegree2_rec(ctx, n)).elapsed
+}
+
+/// Counter operations performed by `indegree2(n)`: per internal node one
+/// chain (make(1)), one increment, two decrements — ≈ `4n`.
+pub fn indegree2_ops(n: u64) -> u64 {
+    if n < 2 {
+        return 1;
+    }
+    4 * (n - 1)
+}
+
+/// Which raw counter the SNZI reproduction study (Figure 12) exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RawCounter {
+    /// A single fetch-and-add cell.
+    FetchAdd,
+    /// A fixed-depth SNZI tree; threads hash onto leaves.
+    FixedSnzi {
+        /// Tree depth `d`.
+        depth: u32,
+    },
+}
+
+/// The raw-counter microbenchmark reproducing Figure 10 of the original
+/// SNZI paper (our paper's Figure 12): `threads` threads each perform
+/// `pairs` arrive/depart pairs on one shared counter, no dag involved.
+/// Returns the wall-clock time; total operations = `2 * threads * pairs`.
+pub fn raw_counter_bench(counter: RawCounter, threads: usize, pairs: u64) -> Duration {
+    match counter {
+        RawCounter::FetchAdd => {
+            let cell = Arc::new(PaddedCell { v: AtomicU64::new(0) });
+            run_threads(threads, move |tid, barrier| {
+                let cell = Arc::clone(&cell);
+                move || {
+                    barrier.wait();
+                    for _ in 0..pairs {
+                        cell.v.fetch_add(1, Ordering::AcqRel);
+                        cell.v.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    let _ = tid;
+                }
+            })
+        }
+        RawCounter::FixedSnzi { depth } => {
+            let tree = Arc::new(FixedSnzi::new(depth, 0));
+            run_threads(threads, move |tid, barrier| {
+                let tree = Arc::clone(&tree);
+                move || {
+                    barrier.wait();
+                    for i in 0..pairs {
+                        let key = (tid as u64) << 32 | i;
+                        let leaf = tree.arrive_key(key);
+                        tree.depart_leaf(leaf);
+                    }
+                }
+            })
+        }
+    }
+}
+
+#[repr(align(128))]
+struct PaddedCell {
+    v: AtomicU64,
+}
+
+/// Spawn `threads` threads from a factory, synchronise their start on a
+/// barrier, and time the whole batch.
+fn run_threads<F, G>(threads: usize, factory: F) -> Duration
+where
+    F: Fn(usize, Arc<Barrier>) -> G,
+    G: FnOnce() + Send + 'static,
+{
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| std::thread::spawn(factory(tid, Arc::clone(&barrier))))
+        .collect();
+    // Release all threads at once, then time until they are done.
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("benchmark thread panicked");
+    }
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incounter::{DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
+
+    #[test]
+    fn fanin_counts_leaves() {
+        // Cross-check the analytic op count with an instrumented run.
+        let stats = run_dag::<FetchAdd, _>((), 2, |ctx| fanin_rec(ctx, 64, 0));
+        // Vertices: root + final + 2 per spawn (63 spawns).
+        assert_eq!(stats.pool.tasks, 2 + 2 * 63);
+        assert_eq!(fanin_ops(64), 127);
+    }
+
+    #[test]
+    fn fanin_runs_on_all_families() {
+        for workers in [1, 2] {
+            fanin::<DynSnzi>(DynConfig::default(), workers, 256, 0);
+            fanin::<FetchAdd>((), workers, 256, 0);
+            fanin::<FixedDepth>(FixedConfig { depth: 3 }, workers, 256, 0);
+        }
+    }
+
+    #[test]
+    fn indegree2_runs_on_all_families() {
+        for workers in [1, 2] {
+            indegree2::<DynSnzi>(DynConfig::default(), workers, 128);
+            indegree2::<FetchAdd>((), workers, 128);
+            indegree2::<FixedDepth>(FixedConfig { depth: 2 }, workers, 128);
+        }
+    }
+
+    #[test]
+    fn fanin_with_leaf_work_takes_longer() {
+        let fast = fanin::<FetchAdd>((), 1, 512, 0);
+        let slow = fanin::<FetchAdd>((), 1, 512, 20_000);
+        assert!(
+            slow > fast,
+            "dummy work must cost time: {fast:?} !< {slow:?}"
+        );
+    }
+
+    #[test]
+    fn raw_counter_both_kinds_run() {
+        let d = raw_counter_bench(RawCounter::FetchAdd, 2, 10_000);
+        assert!(d.as_nanos() > 0);
+        let d = raw_counter_bench(RawCounter::FixedSnzi { depth: 3 }, 2, 10_000);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn dummy_work_scales_roughly_linearly() {
+        // Best-of-5 to ride out scheduler noise (this also runs in debug
+        // builds on loaded CI machines); the bound is deliberately loose.
+        let best = |units: u64| {
+            (0..5)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    dummy_work(units);
+                    t0.elapsed()
+                })
+                .min()
+                .unwrap()
+        };
+        let t1 = best(2_000_000);
+        let t8 = best(16_000_000);
+        assert!(
+            t8 > t1 * 3,
+            "8x work should take >3x time: {t1:?} vs {t8:?}"
+        );
+    }
+
+    #[test]
+    fn ops_formulas() {
+        assert_eq!(fanin_ops(1), 1);
+        assert_eq!(fanin_ops(2), 3);
+        assert_eq!(indegree2_ops(2), 4);
+        assert_eq!(indegree2_ops(8), 28);
+    }
+}

@@ -1,0 +1,274 @@
+//! Parallel-for and parallel-reduce built on the sp-dag primitives.
+//!
+//! These are the patterns the paper's intro motivates (parallel loops are
+//! where unbounded in-degrees come from) packaged as a library surface.
+//! Both helpers are continuation-passing — the dag model's native shape —
+//! and generic over the counter family, so the benchmarks can drive them
+//! with the baselines too.
+//!
+//! * [`parallel_for`] — run `body(i)` for every index of a range by
+//!   recursive halving; below `grain` indices the loop runs sequentially.
+//! * [`parallel_for_then`] — as above, plus a continuation that runs
+//!   after **all** iterations completed (a `finish` block around the loop).
+//! * [`parallel_reduce`] — map each grain-sized chunk to a value and
+//!   combine with an associative operator; the result is delivered to a
+//!   continuation.
+
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+use incounter::CounterFamily;
+use spdag::Ctx;
+
+/// Run `body(i)` for each `i` in `range`, splitting in half until at most
+/// `grain` indices remain. Iterations may run in any order and in
+/// parallel; the *enclosing* finish scope waits for all of them.
+pub fn parallel_for<C, F>(ctx: Ctx<'_, C>, range: Range<u64>, grain: u64, body: F)
+where
+    C: CounterFamily,
+    F: Fn(u64) + Send + Sync + 'static,
+{
+    parallel_for_arc(ctx, range, grain.max(1), Arc::new(body));
+}
+
+fn parallel_for_arc<C, F>(ctx: Ctx<'_, C>, range: Range<u64>, grain: u64, body: Arc<F>)
+where
+    C: CounterFamily,
+    F: Fn(u64) + Send + Sync + 'static,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len <= grain {
+        for i in range {
+            body(i);
+        }
+        return;
+    }
+    let mid = range.start + len / 2;
+    let (lo, hi) = (range.start..mid, mid..range.end);
+    let b2 = Arc::clone(&body);
+    ctx.spawn(
+        move |c| parallel_for_arc(c, lo, grain, body),
+        move |c| parallel_for_arc(c, hi, grain, b2),
+    );
+}
+
+/// As [`parallel_for`], with a continuation that runs strictly after every
+/// iteration (and anything the iterations spawned) has finished.
+pub fn parallel_for_then<C, F, K>(
+    ctx: Ctx<'_, C>,
+    range: Range<u64>,
+    grain: u64,
+    body: F,
+    then: K,
+) where
+    C: CounterFamily,
+    F: Fn(u64) + Send + Sync + 'static,
+    K: for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
+{
+    ctx.chain(
+        move |c| parallel_for(c, range, grain, body),
+        then,
+    );
+}
+
+/// Parallel map-reduce over an index range.
+///
+/// `map` produces a value for each grain-sized chunk (it receives the
+/// chunk's sub-range and should fold it internally — this keeps the
+/// per-chunk overhead to one closure call); `combine` merges two partial
+/// results (it must be associative); the final value is handed to `then`
+/// together with a fresh context.
+pub fn parallel_reduce<C, T, M, O, K>(
+    ctx: Ctx<'_, C>,
+    range: Range<u64>,
+    grain: u64,
+    map: M,
+    combine: O,
+    then: K,
+) where
+    C: CounterFamily,
+    T: Send + 'static,
+    M: Fn(Range<u64>) -> T + Send + Sync + 'static,
+    O: Fn(T, T) -> T + Send + Sync + 'static,
+    K: for<'b> FnOnce(Ctx<'b, C>, T) + Send + 'static,
+{
+    let map = Arc::new(map);
+    let combine = Arc::new(combine);
+    reduce_rec(ctx, range, grain.max(1), map, combine, Box::new(then));
+}
+
+type Cont<C, T> = Box<dyn for<'b> FnOnce(Ctx<'b, C>, T) + Send + 'static>;
+
+fn reduce_rec<C, T, M, O>(
+    ctx: Ctx<'_, C>,
+    range: Range<u64>,
+    grain: u64,
+    map: Arc<M>,
+    combine: Arc<O>,
+    then: Cont<C, T>,
+) where
+    C: CounterFamily,
+    T: Send + 'static,
+    M: Fn(Range<u64>) -> T + Send + Sync + 'static,
+    O: Fn(T, T) -> T + Send + Sync + 'static,
+{
+    let len = range.end.saturating_sub(range.start);
+    if len <= grain {
+        let value = map(range);
+        then(ctx, value);
+        return;
+    }
+    let mid = range.start + len / 2;
+    let (lo, hi) = (range.start..mid, mid..range.end);
+    let left_cell: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let right_cell: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let (lc, rc) = (Arc::clone(&left_cell), Arc::clone(&right_cell));
+    let (m1, m2) = (Arc::clone(&map), Arc::clone(&map));
+    let (o1, o2) = (Arc::clone(&combine), Arc::clone(&combine));
+    ctx.chain(
+        move |c| {
+            c.spawn(
+                move |c2| {
+                    reduce_rec(
+                        c2,
+                        lo,
+                        grain,
+                        m1,
+                        o1,
+                        Box::new(move |_, v: T| {
+                            *lc.lock().unwrap() = Some(v);
+                        }),
+                    )
+                },
+                move |c2| {
+                    reduce_rec(
+                        c2,
+                        hi,
+                        grain,
+                        m2,
+                        o2,
+                        Box::new(move |_, v: T| {
+                            *rc.lock().unwrap() = Some(v);
+                        }),
+                    )
+                },
+            );
+        },
+        move |c| {
+            let l = left_cell.lock().unwrap().take().expect("left half delivered");
+            let r = right_cell.lock().unwrap().take().expect("right half delivered");
+            then(c, combine(l, r));
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OutCell, Runtime};
+    use incounter::{DynConfig, DynSnzi, FetchAdd};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        for (len, grain, workers) in [(0u64, 4, 1), (1, 1, 2), (1000, 16, 2), (1000, 1, 4)] {
+            let marks = Arc::new((0..len).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+            let m = Arc::clone(&marks);
+            Runtime::new().workers(workers).run(move |ctx| {
+                parallel_for(ctx, 0..len, grain, move |i| {
+                    m[i as usize].fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            for (i, cell) in marks.iter().enumerate() {
+                assert_eq!(cell.load(Ordering::Relaxed), 1, "index {i} (len={len})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_then_waits_for_all() {
+        let count = Arc::new(AtomicU64::new(0));
+        let seen = OutCell::new();
+        let (c2, s2) = (Arc::clone(&count), seen.clone());
+        Runtime::new().workers(4).run(move |ctx| {
+            parallel_for_then(
+                ctx,
+                0..512,
+                8,
+                move |_| {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                },
+                move |_| {
+                    s2.set(count.load(Ordering::Relaxed));
+                },
+            );
+        });
+        assert_eq!(seen.take(), Some(512));
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let out = OutCell::new();
+        let o = out.clone();
+        Runtime::new().workers(3).run(move |ctx| {
+            parallel_reduce(
+                ctx,
+                1..10_000u64,
+                64,
+                |r| r.sum::<u64>(),
+                |a, b| a + b,
+                move |_, total| o.set(total),
+            );
+        });
+        assert_eq!(out.take(), Some((1..10_000u64).sum()));
+    }
+
+    #[test]
+    fn parallel_reduce_on_baseline_family() {
+        let out = OutCell::new();
+        let o = out.clone();
+        Runtime::<FetchAdd>::with_family(()).workers(2).run(move |ctx| {
+            parallel_reduce(
+                ctx,
+                0..4096u64,
+                32,
+                |r| r.map(|x| x * x).sum::<u64>(),
+                |a, b| a + b,
+                move |_, total| o.set(total),
+            );
+        });
+        let expected: u64 = (0..4096u64).map(|x| x * x).sum();
+        assert_eq!(out.take(), Some(expected));
+    }
+
+    #[test]
+    fn reduce_min_max_nontrivial_combine() {
+        let out = OutCell::new();
+        let o = out.clone();
+        Runtime::<DynSnzi>::with_family(DynConfig::always_grow()).workers(2).run(
+            move |ctx| {
+                parallel_reduce(
+                    ctx,
+                    0..1000u64,
+                    10,
+                    |r| {
+                        let mut mn = u64::MAX;
+                        let mut mx = 0;
+                        for i in r {
+                            let v = (i * 2654435761) % 1009;
+                            mn = mn.min(v);
+                            mx = mx.max(v);
+                        }
+                        (mn, mx)
+                    },
+                    |a, b| (a.0.min(b.0), a.1.max(b.1)),
+                    move |_, v| o.set(v),
+                );
+            },
+        );
+        let (mn, mx) = out.take().unwrap();
+        let vals: Vec<u64> = (0..1000u64).map(|i| (i * 2654435761) % 1009).collect();
+        assert_eq!(mn, *vals.iter().min().unwrap());
+        assert_eq!(mx, *vals.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,114 @@
+//! The shared, ordered pair of decrement handles (Section 3.3).
+//!
+//! Every increment returns *two* decrement handles: the one it inherited
+//! from the incrementing vertex (pointing **higher** in the SNZI tree) and
+//! a fresh one pointing at the node where its arrive landed. The pair is
+//! shared between the two sibling dag vertices created by the spawn, and
+//! the two eventual users decide who gets which handle with a test-and-set:
+//! the *first* to claim takes the first (higher) handle.
+//!
+//! This "decrement high nodes first" discipline is the engine behind the
+//! paper's Lemma 4.6 (a node whose surplus returns to zero is never touched
+//! again), which in turn bounds per-node contention by a constant.
+//!
+//! The paper's Figure 3 draws the `first_dec` flag inside the vertex, but
+//! the text is explicit that the handles — and hence the flag arbitrating
+//! them — are shared between the two siblings; `DecPair` is that shared
+//! object.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// An ordered pair of decrement handles with a one-shot claim flag.
+#[derive(Debug)]
+pub struct DecPair<D> {
+    claimed: AtomicBool,
+    #[cfg(debug_assertions)]
+    second_claimed: AtomicBool,
+    first: D,
+    second: D,
+}
+
+impl<D: Copy> DecPair<D> {
+    /// Build a pair; `first` must point at least as high in the tree as
+    /// `second` (the caller — `increment` — guarantees it by passing the
+    /// inherited handle first).
+    pub fn new(first: D, second: D) -> DecPair<D> {
+        DecPair {
+            claimed: AtomicBool::new(false),
+            #[cfg(debug_assertions)]
+            second_claimed: AtomicBool::new(false),
+            first,
+            second,
+        }
+    }
+
+    /// Claim a handle: the first claimer receives the first (higher)
+    /// handle, the second claimer the second. The paper's `claim_dec`.
+    ///
+    /// In a valid execution each pair is claimed at most twice (once by
+    /// each sibling); a third claim panics in debug builds.
+    #[inline]
+    pub fn claim(&self) -> D {
+        if self
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.first
+        } else {
+            #[cfg(debug_assertions)]
+            {
+                assert!(
+                    !self.second_claimed.swap(true, Ordering::AcqRel),
+                    "DecPair claimed three times: execution is not valid (Definition 1)"
+                );
+            }
+            self.second
+        }
+    }
+
+    /// Whether the first handle has been claimed (diagnostics).
+    pub fn first_claimed(&self) -> bool {
+        self.claimed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_are_ordered() {
+        let p = DecPair::new(10u32, 20u32);
+        assert!(!p.first_claimed());
+        assert_eq!(p.claim(), 10, "first claimer gets the higher handle");
+        assert!(p.first_claimed());
+        assert_eq!(p.claim(), 20);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not valid")]
+    fn triple_claim_panics_in_debug() {
+        let p = DecPair::new(1u32, 2u32);
+        p.claim();
+        p.claim();
+        p.claim();
+    }
+
+    #[test]
+    fn concurrent_claims_are_exclusive() {
+        use std::sync::Arc;
+        for _ in 0..200 {
+            let p = Arc::new(DecPair::new(1u32, 2u32));
+            let p2 = Arc::clone(&p);
+            let h = std::thread::spawn(move || p2.claim());
+            let a = p.claim();
+            let b = h.join().unwrap();
+            assert!(
+                (a == 1 && b == 2) || (a == 2 && b == 1),
+                "the two claimers must split the pair, got {a} and {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The in-counter proper: the dynamic-SNZI counter family (Figure 5).
+//!
+//! `increment` is the paper's three-step dance:
+//!
+//! 1. `grow(u.inc, p)` — tell the tree that contention may be coming and
+//!    give it a chance to expand; returns the (possibly fresh) children of
+//!    the increment handle, or the handle itself twice if the coin said no.
+//! 2. `arrive` at the child selected by whether the incrementing vertex is
+//!    itself a left or a right child — spreading siblings' traffic onto
+//!    disjoint nodes.
+//! 3. Hand out handles: the two children become the increment handles of
+//!    the two new dag vertices, and the arrive target becomes the fresh
+//!    (second, lower) decrement handle. The inherited (first, higher)
+//!    handle is claimed by the *caller* after the arrive completes — the
+//!    ordering that keeps phase changes rare.
+
+use snzi::{Handle, Probability, SnziTree};
+
+use crate::CounterFamily;
+
+/// Configuration for [`DynSnzi`]: the growth probability, plus an
+/// allocation-placement knob used by the evaluation's NUMA-substitution
+/// study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynConfig {
+    /// Probability with which `increment` grows the tree; the paper
+    /// recommends `1/(25·cores)` and analyses `p = 1`.
+    pub p: Probability,
+    /// Levels of children to install eagerly at `make` time (by the
+    /// creating thread). The default, 0, means all nodes are allocated by
+    /// the thread that grows them ("first touch"); a non-zero value places
+    /// nodes from a single thread before consumers exist ("remote"
+    /// placement) — the closest controllable analogue of the paper's NUMA
+    /// page-placement study (Figure 13), which found no significant effect.
+    pub pregrow_levels: u32,
+    /// Ablation knob: reverse the decrement-pair order, handing the
+    /// *fresh, lower* handle to the first claimer. This violates the
+    /// "decrement higher nodes first" discipline behind Lemma 4.6 —
+    /// correctness is unaffected (any valid matching works) but the
+    /// contention bound's mechanism is disabled. Benchmarks only.
+    pub ablate_claim_order: bool,
+}
+
+impl DynConfig {
+    /// Grow on every increment (`p = 1`): the regime of the paper's
+    /// theorems, and the strongest contention avoidance.
+    pub fn always_grow() -> DynConfig {
+        DynConfig { p: Probability::ALWAYS, ..DynConfig::base() }
+    }
+
+    /// Never grow: collapses onto a single cell. Correct, but intentionally
+    /// forfeits the contention bound — used for failure injection.
+    pub fn never_grow() -> DynConfig {
+        DynConfig { p: Probability::NEVER, ..DynConfig::base() }
+    }
+
+    /// The paper's `p = 1/threshold` parameterisation (Figure 11).
+    pub fn with_threshold(threshold: u64) -> DynConfig {
+        DynConfig { p: Probability::one_over(threshold), ..DynConfig::base() }
+    }
+
+    /// Builder-style override of the pre-grow level count.
+    pub fn pregrow(mut self, levels: u32) -> DynConfig {
+        self.pregrow_levels = levels;
+        self
+    }
+
+    /// Builder-style override of the claim-order ablation.
+    pub fn ablated_claim_order(mut self) -> DynConfig {
+        self.ablate_claim_order = true;
+        self
+    }
+
+    fn base() -> DynConfig {
+        DynConfig {
+            p: Probability::ALWAYS,
+            pregrow_levels: 0,
+            ablate_claim_order: false,
+        }
+    }
+}
+
+impl Default for DynConfig {
+    /// Default to the paper's recommended `1/(25·cores)`.
+    fn default() -> DynConfig {
+        DynConfig {
+            p: Probability::default_for_cores(sched_cores()),
+            ..DynConfig::base()
+        }
+    }
+}
+
+fn sched_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The dynamic-SNZI in-counter family — the paper's contribution.
+pub struct DynSnzi;
+
+impl CounterFamily for DynSnzi {
+    type Config = DynConfig;
+    type Counter = SnziTree;
+    type Inc = Handle;
+    type Dec = Handle;
+
+    const NAME: &'static str = "incounter";
+
+    fn make(cfg: &DynConfig, n: u64) -> SnziTree {
+        let tree = SnziTree::with_probability(n, cfg.p);
+        if cfg.pregrow_levels > 0 {
+            let mut frontier = vec![tree.root_handle()];
+            for _ in 0..cfg.pregrow_levels {
+                let mut next = Vec::with_capacity(frontier.len() * 2);
+                for h in frontier {
+                    // SAFETY: handles of the tree just created; tree alive.
+                    let (a, b) = unsafe { tree.grow_always(h) };
+                    next.push(a);
+                    next.push(b);
+                }
+                frontier = next;
+            }
+        }
+        tree
+    }
+
+    fn root_inc(counter: &SnziTree) -> Handle {
+        counter.root_handle()
+    }
+
+    fn root_dec(counter: &SnziTree) -> Handle {
+        counter.root_handle()
+    }
+
+    unsafe fn increment(
+        _cfg: &DynConfig,
+        counter: &SnziTree,
+        inc: Handle,
+        is_left: bool,
+        _vid: u64,
+    ) -> (Handle, Handle, Handle) {
+        // SAFETY: forwarded from the trait contract — `inc` belongs to
+        // `counter`, which outlives the call.
+        let (a, b) = unsafe { counter.grow(inc) };
+        let d2 = if is_left { a } else { b };
+        // SAFETY: as above; `d2` is `a`, `b` or `inc` itself, all owned by
+        // `counter`.
+        unsafe { counter.arrive(d2) };
+        (d2, a, b)
+    }
+
+    unsafe fn decrement(counter: &SnziTree, dec: Handle) -> bool {
+        // SAFETY: forwarded from the trait contract; validity gives the
+        // matching completed arrive.
+        unsafe { counter.depart(dec) }
+    }
+
+    fn is_zero(counter: &SnziTree) -> bool {
+        !counter.query()
+    }
+
+    fn make_pair(cfg: &DynConfig, inherited: Handle, fresh: Handle) -> crate::DecPair<Handle> {
+        if cfg.ablate_claim_order {
+            crate::DecPair::new(fresh, inherited)
+        } else {
+            crate::DecPair::new(inherited, fresh)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_respects_initial_count() {
+        let cfg = DynConfig::always_grow();
+        assert!(DynSnzi::is_zero(&DynSnzi::make(&cfg, 0)));
+        assert!(!DynSnzi::is_zero(&DynSnzi::make(&cfg, 1)));
+        assert!(!DynSnzi::is_zero(&DynSnzi::make(&cfg, 42)));
+    }
+
+    #[test]
+    fn increment_with_p1_descends_one_level() {
+        let cfg = DynConfig::always_grow();
+        let c = DynSnzi::make(&cfg, 1);
+        let root = DynSnzi::root_inc(&c);
+        let (d2, i1, i2) = unsafe { DynSnzi::increment(&cfg, &c, root, true, 0) };
+        assert_eq!(unsafe { d2.depth() }, 1, "arrive lands on a fresh child");
+        assert_eq!(unsafe { i1.depth() }, 1);
+        assert_eq!(unsafe { i2.depth() }, 1);
+        assert_ne!(i1.addr(), i2.addr());
+        assert_eq!(d2.addr(), i1.addr(), "left vertex arrives at left child");
+        let (d2r, ..) = unsafe { DynSnzi::increment(&cfg, &c, root, false, 0) };
+        assert_eq!(d2r.addr(), i2.addr(), "right vertex arrives at right child");
+    }
+
+    #[test]
+    fn increment_with_p0_stays_put() {
+        let cfg = DynConfig::never_grow();
+        let c = DynSnzi::make(&cfg, 1);
+        let root = DynSnzi::root_inc(&c);
+        let (d2, i1, i2) = unsafe { DynSnzi::increment(&cfg, &c, root, true, 0) };
+        assert_eq!(d2.addr(), root.addr());
+        assert_eq!(i1.addr(), root.addr());
+        assert_eq!(i2.addr(), root.addr());
+        assert!(!unsafe { DynSnzi::decrement(&c, d2) });
+        assert!(unsafe { DynSnzi::decrement(&c, DynSnzi::root_dec(&c)) });
+    }
+
+    #[test]
+    fn default_config_uses_core_count() {
+        let cfg = DynConfig::default();
+        let expected = Probability::default_for_cores(sched_cores());
+        assert_eq!(cfg.p, expected);
+    }
+}

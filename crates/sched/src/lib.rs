@@ -1,0 +1,35 @@
+//! # sched — work-stealing scheduler substrate
+//!
+//! The PPoPP'17 evaluation runs its benchmarks on "a state-of-the-art
+//! implementation of a work-stealing scheduler". This crate is that
+//! substrate, built from scratch:
+//!
+//! * [`deque`] — a Chase–Lev work-stealing deque. Slots are relaxed
+//!   atomics (the C11 formulation of Lê, Pop, Cohen and Nardelli,
+//!   PPoPP'13), so the implementation contains no benign-but-undefined
+//!   data races. Payloads are machine words; the [`Word`] trait converts
+//!   owning types (e.g. `Box<T>`, raw vertex pointers) to and from words
+//!   without extra allocation.
+//! * [`pool`] — a worker pool: one deque per worker, randomized stealing,
+//!   an event-count for idle parking, and two termination modes
+//!   (an explicit done-flag set by the computation's final task — the
+//!   contention-free mode used for dag execution — or global quiescence
+//!   for task-soup workloads).
+//!
+//! The scheduler is deliberately *generic*: it knows nothing about sp-dags
+//! or counters. The `spdag` crate supplies vertices as word-sized tasks.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod deque;
+pub mod pool;
+pub mod rng;
+
+pub use deque::{Stealer, StealResult, WorkerDeque, Word};
+pub use pool::{run, PoolStats, Termination, WorkerCtx};
+
+/// Number of hardware threads available, with a fallback of 1.
+pub fn num_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

@@ -1,0 +1,64 @@
+//! Tiny pseudo-random generator for steal-victim selection.
+//!
+//! Deliberately self-contained (this crate has no dependency on `snzi`,
+//! which carries its own copy for coin flipping): victim selection needs
+//! speed and decorrelation across workers, nothing more.
+
+/// `xorshift64*` generator (Vigna 2016).
+#[derive(Clone, Debug)]
+pub struct VictimRng {
+    state: u64,
+}
+
+impl VictimRng {
+    /// Seeded constructor; zero seeds are remapped off the fixed point.
+    pub fn new(seed: u64) -> VictimRng {
+        VictimRng { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next uniform 64-bit value.
+    #[inline(always)]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    #[inline(always)]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_remapped() {
+        assert_ne!(VictimRng::new(0).next_u64(), 0);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut rng = VictimRng::new(99);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.next_below(8);
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all victims should be reachable");
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let (mut a, mut b) = (VictimRng::new(1), VictimRng::new(2));
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

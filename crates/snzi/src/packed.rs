@@ -1,0 +1,114 @@
+//! Packed-word codecs for the atomic state of SNZI nodes.
+//!
+//! Every piece of per-node shared state that must change atomically is
+//! packed into a single 64-bit word so that one `compare_exchange` updates
+//! it, exactly as in the SNZI paper:
+//!
+//! * hierarchical nodes carry `(c, v)` — a counter that may hold the
+//!   intermediate value ½ and a version number ([`pack_node`]);
+//! * the root carries `(c, a, v)` — counter, announce bit, version
+//!   ([`pack_root`]);
+//! * the root's indicator carries `(ver, bit)` — the version of the
+//!   non-zero period it reports plus the non-zero bit ([`pack_ind`]).
+//!
+//! Counters of hierarchical nodes are stored in *half units*: the value ½
+//! is represented by [`HALF`]` = 1` and a full unit by [`ONE`]` = 2`, so a
+//! surplus of `k` is `2k`. This keeps the arithmetic branch-free.
+
+/// One half unit of surplus (the SNZI intermediate value ½).
+pub const HALF: u32 = 1;
+/// One full unit of surplus in half-unit representation.
+pub const ONE: u32 = 2;
+
+/// Maximum representable surplus (in full units) of a hierarchical node.
+pub const MAX_NODE_SURPLUS: u32 = (u32::MAX - ONE) / 2;
+
+/// Maximum representable surplus of the root (31-bit counter field).
+pub const MAX_ROOT_SURPLUS: u32 = (1 << 31) - 2;
+
+/// Pack a hierarchical node word from a half-unit counter and a version.
+#[inline(always)]
+pub fn pack_node(c_half: u32, v: u32) -> u64 {
+    ((v as u64) << 32) | c_half as u64
+}
+
+/// Unpack a hierarchical node word into `(c_half, v)`.
+#[inline(always)]
+pub fn unpack_node(w: u64) -> (u32, u32) {
+    (w as u32, (w >> 32) as u32)
+}
+
+/// Pack a root word from a counter (must fit 31 bits), announce bit and
+/// version.
+#[inline(always)]
+pub fn pack_root(c: u32, a: bool, v: u32) -> u64 {
+    debug_assert!(c < (1 << 31), "root surplus overflow");
+    (c as u64) | ((a as u64) << 31) | ((v as u64) << 32)
+}
+
+/// Unpack a root word into `(c, a, v)`.
+#[inline(always)]
+pub fn unpack_root(w: u64) -> (u32, bool, u32) {
+    ((w as u32) & 0x7FFF_FFFF, (w >> 31) & 1 == 1, (w >> 32) as u32)
+}
+
+/// Pack an indicator word from a period version and the non-zero bit.
+#[inline(always)]
+pub fn pack_ind(ver: u32, bit: bool) -> u64 {
+    ((ver as u64) << 1) | bit as u64
+}
+
+/// Unpack an indicator word into `(ver, bit)`.
+#[inline(always)]
+pub fn unpack_ind(w: u64) -> (u32, bool) {
+    ((w >> 1) as u32, w & 1 == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_roundtrip_basics() {
+        for &(c, v) in &[(0, 0), (HALF, 1), (ONE, 7), (123_456, u32::MAX), (u32::MAX, 0)] {
+            assert_eq!(unpack_node(pack_node(c, v)), (c, v));
+        }
+    }
+
+    #[test]
+    fn root_roundtrip_basics() {
+        for &(c, a, v) in &[
+            (0, false, 0),
+            (1, true, 1),
+            (MAX_ROOT_SURPLUS, false, u32::MAX),
+            (42, true, 99),
+        ] {
+            assert_eq!(unpack_root(pack_root(c, a, v)), (c, a, v));
+        }
+    }
+
+    #[test]
+    fn ind_roundtrip_basics() {
+        for &(ver, bit) in &[(0, false), (1, true), (u32::MAX, true), (77, false)] {
+            assert_eq!(unpack_ind(pack_ind(ver, bit)), (ver, bit));
+        }
+    }
+
+    #[test]
+    fn announce_bit_does_not_leak_into_counter() {
+        let w = pack_root(5, true, 9);
+        let (c, a, v) = unpack_root(w);
+        assert_eq!(c, 5);
+        assert!(a);
+        assert_eq!(v, 9);
+        let w = pack_root(5, false, 9);
+        assert_eq!(unpack_root(w).0, 5);
+        assert!(!unpack_root(w).1);
+    }
+
+    #[test]
+    fn half_and_one_are_distinct_and_ordered() {
+        const { assert!(HALF < ONE) };
+        assert_eq!(ONE, 2 * HALF);
+    }
+}

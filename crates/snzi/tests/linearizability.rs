@@ -1,0 +1,194 @@
+//! Linearizability stress tests for the SNZI tree.
+//!
+//! The central invariant: **between a thread's `arrive` returning and its
+//! matching `depart` starting, `query` must read true** — by
+//! linearizability the thread's own arrival is counted, so the surplus is
+//! provably non-zero throughout the window.
+//!
+//! The first test is a regression for a real bug found during bring-up:
+//! the root `arrive` originally published the indicator only when it
+//! performed the 0→1 transition itself. An arrival landing on `c ≥ 1`
+//! while the transitioning thread was stalled *before its publish* could
+//! then return with the indicator still down, and the caller's query read
+//! a stale `false`. The SNZI paper's root arrive helps whenever the value
+//! it installed carries the announce bit (`if x'.a`); so does ours now.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use snzi::{Probability, SnziTree};
+
+fn query_window_invariant(tree: Arc<SnziTree>, handle_depth: u32, threads: usize, millis: u64) {
+    let r = tree.root_handle();
+    let mut h = r;
+    for _ in 0..handle_depth {
+        let (l, _) = unsafe { tree.grow_always(h) };
+        h = l;
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rounds = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    unsafe {
+                        tree.arrive(h);
+                        assert!(
+                            tree.query(),
+                            "indicator must be up between arrive and depart"
+                        );
+                        let _ = tree.depart(h);
+                    }
+                    rounds += 1;
+                }
+                rounds
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(millis));
+    stop.store(true, Ordering::Release);
+    let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(total > 0, "workers made progress");
+    assert!(!tree.query(), "balanced traffic must drain to zero");
+}
+
+#[test]
+fn regression_query_window_on_shared_child() {
+    // The exact shape that exposed the missing `if x'.a` helping rule:
+    // several threads sharing one child of the root.
+    for _ in 0..10 {
+        query_window_invariant(Arc::new(SnziTree::new(0)), 1, 3, 100);
+    }
+}
+
+#[test]
+fn query_window_direct_on_root() {
+    for _ in 0..5 {
+        query_window_invariant(Arc::new(SnziTree::new(0)), 0, 4, 80);
+    }
+}
+
+#[test]
+fn query_window_deep_handle() {
+    // Propagation through several levels; phase changes cascade.
+    for depth in [2, 5, 9] {
+        query_window_invariant(Arc::new(SnziTree::new(0)), depth, 3, 80);
+    }
+}
+
+#[test]
+fn query_window_disjoint_handles() {
+    // Each thread works its own subtree; root-level phase changes
+    // interleave across subtrees.
+    let tree = Arc::new(SnziTree::new(0));
+    let r = tree.root_handle();
+    let (l, rr) = unsafe { tree.grow_always(r) };
+    let (ll, lr) = unsafe { tree.grow_always(l) };
+    let (rl, rrr) = unsafe { tree.grow_always(rr) };
+    let handles = [ll, lr, rl, rrr];
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rounds = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    unsafe {
+                        tree.arrive(h);
+                        assert!(tree.query());
+                        let _ = tree.depart(h);
+                    }
+                    rounds += 1;
+                }
+                rounds
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        assert!(w.join().unwrap() > 0);
+    }
+    assert!(!tree.query());
+}
+
+#[test]
+fn exactly_one_period_end_per_drain() {
+    // Threads arrive a fixed number of times, then all depart; across the
+    // whole run, the number of depart() == true must equal the number of
+    // times the tree's surplus actually hit zero — counted by a single
+    // coordinator draining rounds.
+    let tree = Arc::new(SnziTree::with_probability(0, Probability::ALWAYS));
+    let r = tree.root_handle();
+    let (l, rr) = unsafe { tree.grow_always(r) };
+    let rounds = 300;
+    let endings = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let t1 = {
+        let (tree, endings, barrier) = (Arc::clone(&tree), Arc::clone(&endings), Arc::clone(&barrier));
+        std::thread::spawn(move || {
+            for _ in 0..rounds {
+                unsafe { tree.arrive(l) };
+                barrier.wait(); // both arrived
+                if unsafe { tree.depart(l) } {
+                    endings.fetch_add(1, Ordering::Relaxed);
+                }
+                barrier.wait(); // both departed
+            }
+        })
+    };
+    for _ in 0..rounds {
+        unsafe { tree.arrive(rr) };
+        barrier.wait();
+        if unsafe { tree.depart(rr) } {
+            endings.fetch_add(1, Ordering::Relaxed);
+        }
+        barrier.wait();
+    }
+    t1.join().unwrap();
+    assert_eq!(
+        endings.load(Ordering::Relaxed),
+        rounds,
+        "each round drains to zero exactly once"
+    );
+    assert!(!tree.query());
+}
+
+#[test]
+fn mixed_arity_churn_with_initial_surplus() {
+    // Initial surplus keeps the indicator up no matter what the churn
+    // does; draining the initial surplus at the end turns it off.
+    let tree = Arc::new(SnziTree::new(2));
+    let r = tree.root_handle();
+    let (l, _) = unsafe { tree.grow_always(r) };
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn: Vec<_> = (0..3)
+        .map(|_| {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    unsafe {
+                        tree.arrive(l);
+                        let ended = tree.depart(l);
+                        assert!(!ended, "initial surplus must keep the period open");
+                    }
+                    assert!(tree.query(), "initial surplus pins the indicator");
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(120));
+    stop.store(true, Ordering::Release);
+    for c in churn {
+        c.join().unwrap();
+    }
+    assert!(!unsafe { tree.depart(r) });
+    assert!(unsafe { tree.depart(r) }, "second depart drains the surplus");
+    assert!(!tree.query());
+}

@@ -1,0 +1,487 @@
+//! Dag construction and execution (the paper's Figure 3 operations and the
+//! scheduler glue).
+//!
+//! The paper presents `make`, `new_vertex`, `chain`, `spawn` and `signal`
+//! as operations on a mutable dag; here they appear in the closure-passing
+//! form natural to Rust:
+//!
+//! * [`run_dag`] is `make` + `Scheduler.initialize` + the add/execute loop:
+//!   it builds the root and final vertices and drives the pool until the
+//!   final vertex runs.
+//! * [`Ctx::spawn`] and [`Ctx::chain`] are `spawn`/`chain`; they take the
+//!   children's bodies directly instead of returning raw vertices (the
+//!   paper's two-phase "create, then assign `body`" is an artifact of its
+//!   pseudocode language — the handle discipline is identical).
+//! * `signal` is implicit: when a body returns without having spawned or
+//!   chained, the executor claims a decrement handle and decrements the
+//!   finish vertex's counter; a `true` return (counter hit zero) schedules
+//!   the finish vertex. This is the paper's implementation note that
+//!   readiness detection rides on `snzi_depart`'s return value.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use incounter::{CounterFamily, DecPair};
+use sched::{PoolStats, Termination, WorkerCtx};
+
+use crate::vertex::{Body, Vertex, VertexPtr};
+
+/// Per-body execution context: the running vertex plus scheduler access.
+///
+/// `Ctx` is consumed by [`spawn`](Ctx::spawn)/[`chain`](Ctx::chain), making
+/// "spawn/chain must be the last dag operation of a body" (the paper's
+/// protocol) a compile-time property.
+pub struct Ctx<'a, C: CounterFamily> {
+    /// The running vertex. Exclusive: the executor owns the vertex while
+    /// its body runs, which is what lets `Scope::fork` rotate handles.
+    pub(crate) vertex: &'a mut Vertex<C>,
+    pub(crate) worker: &'a WorkerCtx<'a, VertexPtr<C>>,
+    pub(crate) cfg: &'a C::Config,
+}
+
+impl<'a, C: CounterFamily> Ctx<'a, C> {
+    /// Index of the worker executing this body.
+    pub fn worker_id(&self) -> usize {
+        self.worker.worker_id()
+    }
+
+    /// Number of workers in the pool.
+    pub fn num_workers(&self) -> usize {
+        self.worker.num_workers()
+    }
+
+    pub(crate) fn vertex_ref(&self) -> &Vertex<C> {
+        self.vertex
+    }
+
+    pub(crate) fn vertex_mut(&mut self) -> &mut Vertex<C> {
+        self.vertex
+    }
+
+    /// Parallel composition (the paper's `spawn`; equivalently `async
+    /// left` with continuation `right`). Creates two vertices that may run
+    /// concurrently; the enclosing finish scope waits for both. The
+    /// current vertex dies — it does not signal.
+    pub fn spawn(
+        self,
+        left: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
+        right: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
+    ) {
+        self.spawn_boxed(Box::new(left), Box::new(right));
+    }
+
+    /// Monomorphisation-friendly version of [`spawn`](Ctx::spawn).
+    pub fn spawn_boxed(self, left: Body<C>, right: Body<C>) {
+        let u = self.vertex;
+        // SAFETY: `fin` is alive — this vertex is an unfinished strand of
+        // `fin`'s scope, so `fin`'s counter cannot have reached zero.
+        let fin_ref = unsafe { &*u.fin };
+        let fc = fin_ref.counter_ref();
+        // The vertex address serves as the placement key for hashed
+        // families; it is unique among live vertices and free to compute.
+        let vid = u as *const Vertex<C> as u64;
+        // Figure 5: grow + arrive first ...
+        // SAFETY: `u.inc` points into `fc` by construction; validity is
+        // the sp-dag discipline itself.
+        let (d2, i1, i2) = unsafe { C::increment(self.cfg, fc, u.inc, u.is_left, vid) };
+        // ... and only then claim the inherited handle (ordering invariant:
+        // the first handle of the new pair is the higher one).
+        let d1 = u.dec.claim();
+        let pair = Arc::new(C::make_pair(self.cfg, d1, d2));
+        let v = Vertex::boxed(self.cfg, 0, i1, Arc::clone(&pair), u.fin, true, Some(left));
+        let w = Vertex::boxed(self.cfg, 0, i2, pair, u.fin, false, Some(right));
+        u.dead = true;
+        self.worker.push(VertexPtr(Box::into_raw(v)));
+        self.worker.push(VertexPtr(Box::into_raw(w)));
+    }
+
+    /// Serial composition (the paper's `chain`; equivalently `finish {
+    /// first }` followed by `then`). `then` runs only after `first` and
+    /// everything it transitively spawns have finished. The current vertex
+    /// dies — `then` inherits its handles and obligations.
+    pub fn chain(
+        self,
+        first: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
+        then: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
+    ) {
+        self.chain_boxed(Box::new(first), Box::new(then));
+    }
+
+    /// Monomorphisation-friendly version of [`chain`](Ctx::chain).
+    pub fn chain_boxed(self, first: Body<C>, then: Body<C>) {
+        let u = self.vertex;
+        // w: the new finish vertex; takes over u's position in u's scope
+        // (inherits fin, inc, dec pair and left/right position) and waits
+        // on one dependency — the completion of `first`'s subtree.
+        let w = Vertex::boxed(
+            self.cfg,
+            1,
+            u.inc,
+            Arc::clone(&u.dec),
+            u.fin,
+            u.is_left,
+            Some(then),
+        );
+        let w_ptr = Box::into_raw(w);
+        // SAFETY: just created, uniquely owned until scheduled; shared
+        // references derived here point at the boxed (stable) allocation.
+        let wc = unsafe { (*w_ptr).counter_ref() };
+        let h_dec = C::root_dec(wc);
+        let v = Vertex::boxed(
+            self.cfg,
+            0,
+            C::root_inc(wc),
+            Arc::new(DecPair::new(h_dec, h_dec)),
+            w_ptr,
+            true,
+            Some(first),
+        );
+        u.dead = true;
+        // v is ready (no dependencies); w waits for the signal that zeroes
+        // its counter — nobody pushes it until then.
+        self.worker.push(VertexPtr(Box::into_raw(v)));
+    }
+}
+
+/// Execute one vertex: run its body, then — unless the body ended with a
+/// spawn/chain — signal the finish vertex (the paper's `signal`).
+fn execute_vertex<C: CounterFamily>(
+    cfg: &C::Config,
+    worker: &WorkerCtx<'_, VertexPtr<C>>,
+    ptr: VertexPtr<C>,
+) {
+    // SAFETY: the dag hands each vertex pointer to exactly one executor;
+    // we take back the Box ownership that `spawn`/`chain`/`run_dag` leaked.
+    let mut v: Box<Vertex<C>> = unsafe { Box::from_raw(ptr.0) };
+    if let Some(body) = v.body.take() {
+        body(Ctx { vertex: &mut v, worker, cfg });
+    }
+    if v.dead {
+        return; // continuation took over this vertex's obligations
+    }
+    if v.fin.is_null() {
+        // The final vertex of the dag: the whole computation is done.
+        worker.finish();
+        return;
+    }
+    // SAFETY: fin outlives all vertices of its scope (module docs).
+    let fin_ref = unsafe { &*v.fin };
+    let d = v.dec.claim();
+    // SAFETY: `d` was produced by an increment on `fin`'s counter (or is
+    // its root handle matching the initial count) and is consumed exactly
+    // once — the claim protocol's guarantee.
+    let ready = unsafe { C::decrement(fin_ref.counter_ref(), d) };
+    if ready {
+        worker.push(VertexPtr(v.fin as *mut Vertex<C>));
+    }
+}
+
+/// Statistics from one dag execution.
+#[derive(Debug, Clone, Default)]
+pub struct DagRunStats {
+    /// Scheduler statistics (tasks = vertices executed, steals, parks).
+    pub pool: PoolStats,
+    /// Wall-clock time of the parallel phase (pool spin-up included).
+    pub elapsed: Duration,
+}
+
+/// Build an sp-dag with the given root body and execute it to completion
+/// on `workers` workers (the paper's `make` + scheduling loop).
+///
+/// Returns when the dag's final vertex — which every strand transitively
+/// synchronises with — has executed.
+pub fn run_dag<C, F>(cfg: C::Config, workers: usize, root: F) -> DagRunStats
+where
+    C: CounterFamily,
+    F: for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
+{
+    run_dag_boxed::<C>(cfg, workers, Box::new(root))
+}
+
+/// As [`run_dag`], with a pre-boxed body.
+pub fn run_dag_boxed<C: CounterFamily>(
+    cfg: C::Config,
+    workers: usize,
+    root: Body<C>,
+) -> DagRunStats {
+    // Final vertex z: one dependency (the root strand), no finish of its
+    // own. Its handles are placeholders aimed at its own counter; they are
+    // never used because fin == null short-circuits signalling.
+    let z = {
+        let counter = C::make(&cfg, 1);
+        let inc = C::root_inc(&counter);
+        let dec = C::root_dec(&counter);
+        Box::new(Vertex::<C> {
+            counter: Some(counter),
+            inc,
+            dec: Arc::new(DecPair::new(dec, dec)),
+            fin: std::ptr::null(),
+            is_left: true,
+            dead: false,
+            forks: 0,
+            body: None,
+        })
+    };
+    let z_ptr = Box::into_raw(z);
+    // Root vertex u: ready immediately; signals z when its whole subtree
+    // is done.
+    // SAFETY: z_ptr was just leaked and stays alive until its executor
+    // frees it, strictly after u's scope completes.
+    let zc = unsafe { (*z_ptr).counter_ref() };
+    let z_dec = C::root_dec(zc);
+    let u = Vertex::boxed(
+        &cfg,
+        0,
+        C::root_inc(zc),
+        Arc::new(DecPair::new(z_dec, z_dec)),
+        z_ptr,
+        true,
+        Some(root),
+    );
+    let start = Instant::now();
+    let cfg_ref = &cfg;
+    let pool = sched::run(
+        workers,
+        vec![VertexPtr(Box::into_raw(u))],
+        Termination::DoneFlag,
+        move |worker, ptr| execute_vertex::<C>(cfg_ref, worker, ptr),
+    );
+    DagRunStats { pool, elapsed: start.elapsed() }
+}
+
+/// As [`run_dag`] but returning only the elapsed wall-clock time — the
+/// benchmark harness's entry point.
+pub fn run_dag_timed<C, F>(cfg: C::Config, workers: usize, root: F) -> Duration
+where
+    C: CounterFamily,
+    F: for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
+{
+    run_dag::<C, F>(cfg, workers, root).elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incounter::{DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    fn counter_pair() -> (Arc<AtomicU64>, Arc<AtomicU64>) {
+        let a = Arc::new(AtomicU64::new(0));
+        (Arc::clone(&a), a)
+    }
+
+    #[test]
+    fn empty_root_completes() {
+        for workers in [1, 2, 4] {
+            let stats = run_dag::<DynSnzi, _>(DynConfig::always_grow(), workers, |_| {});
+            // Root + final vertex.
+            assert_eq!(stats.pool.tasks, 2, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn single_spawn_runs_both_sides() {
+        let (h, hits) = counter_pair();
+        let (a, b) = (Arc::clone(&h), Arc::clone(&h));
+        run_dag::<DynSnzi, _>(DynConfig::always_grow(), 2, move |ctx| {
+            ctx.spawn(
+                move |_| {
+                    a.fetch_add(1, Ordering::Relaxed);
+                },
+                move |_| {
+                    b.fetch_add(10, Ordering::Relaxed);
+                },
+            );
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn chain_orders_strictly() {
+        // `then` must observe every effect of `first`'s whole subtree.
+        let (h, observed) = counter_pair();
+        let spawned = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&spawned);
+        run_dag::<DynSnzi, _>(DynConfig::always_grow(), 4, move |ctx| {
+            let h2 = Arc::clone(&h);
+            ctx.chain(
+                move |c| {
+                    // first: a little spawn tree bumping `spawned`.
+                    let (s1, s2, s3) = (Arc::clone(&s), Arc::clone(&s), Arc::clone(&s));
+                    c.spawn(
+                        move |c2| {
+                            let (x, y) = (Arc::clone(&s1), s2);
+                            c2.spawn(
+                                move |_| {
+                                    x.fetch_add(1, Ordering::Relaxed);
+                                },
+                                move |_| {
+                                    y.fetch_add(1, Ordering::Relaxed);
+                                },
+                            );
+                        },
+                        move |_| {
+                            s3.fetch_add(1, Ordering::Relaxed);
+                        },
+                    );
+                },
+                move |_| {
+                    // then: snapshot what first produced.
+                    h2.store(3, Ordering::Relaxed);
+                },
+            );
+        });
+        assert_eq!(observed.load(Ordering::Relaxed), 3);
+        assert_eq!(spawned.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn chain_then_sees_first_effects() {
+        // Write in first, read in then — the dependency makes it safe.
+        let cell = Arc::new(AtomicU64::new(0));
+        let out = Arc::new(AtomicU64::new(0));
+        let (c1, c2) = (Arc::clone(&cell), Arc::clone(&cell));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::always_grow(), 4, move |ctx| {
+            ctx.chain(
+                move |_| {
+                    c1.store(42, Ordering::Relaxed);
+                },
+                move |_| {
+                    o.store(c2.load(Ordering::Relaxed), Ordering::Relaxed);
+                },
+            );
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 42);
+    }
+
+    fn spawn_tree<C: CounterFamily>(ctx: Ctx<'_, C>, depth: u32, hits: Arc<AtomicUsize>) {
+        if depth == 0 {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let (h1, h2) = (Arc::clone(&hits), hits);
+        ctx.spawn(
+            move |c| spawn_tree(c, depth - 1, h1),
+            move |c| spawn_tree(c, depth - 1, h2),
+        );
+    }
+
+    fn check_spawn_tree<C: CounterFamily>(cfg: C::Config, workers: usize, depth: u32) {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        run_dag::<C, _>(cfg, workers, move |ctx| spawn_tree(ctx, depth, h));
+        assert_eq!(hits.load(Ordering::Relaxed), 1 << depth);
+    }
+
+    #[test]
+    fn deep_spawn_tree_dyn() {
+        for workers in [1, 2, 4] {
+            check_spawn_tree::<DynSnzi>(DynConfig::always_grow(), workers, 10);
+            check_spawn_tree::<DynSnzi>(DynConfig::default(), workers, 10);
+            check_spawn_tree::<DynSnzi>(DynConfig::never_grow(), workers, 10);
+        }
+    }
+
+    #[test]
+    fn deep_spawn_tree_fetch_add() {
+        for workers in [1, 2, 4] {
+            check_spawn_tree::<FetchAdd>((), workers, 10);
+        }
+    }
+
+    #[test]
+    fn deep_spawn_tree_fixed() {
+        for depth in [0, 2, 5] {
+            check_spawn_tree::<FixedDepth>(FixedConfig { depth }, 3, 10);
+        }
+    }
+
+    #[test]
+    fn nested_chains_and_spawns_mixed() {
+        // indegree2-style nesting: every level opens a finish block.
+        fn rec<C: CounterFamily>(ctx: Ctx<'_, C>, n: u64, hits: Arc<AtomicUsize>) {
+            if n < 2 {
+                hits.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let h = Arc::clone(&hits);
+            ctx.chain(
+                move |c| {
+                    let (a, b) = (Arc::clone(&h), Arc::clone(&h));
+                    c.spawn(move |c2| rec(c2, n / 2, a), move |c2| rec(c2, n / 2, b));
+                },
+                move |_| {},
+            );
+        }
+        for workers in [1, 3] {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            run_dag::<DynSnzi, _>(DynConfig::always_grow(), workers, move |ctx| {
+                rec(ctx, 64, h)
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 64);
+        }
+    }
+
+    #[test]
+    fn code_after_spawn_still_runs() {
+        // spawn consumes the Ctx but the body may continue with plain code.
+        let (h, hits) = counter_pair();
+        let tail = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&tail);
+        run_dag::<DynSnzi, _>(DynConfig::always_grow(), 2, move |ctx| {
+            let (a, b) = (Arc::clone(&h), Arc::clone(&h));
+            ctx.spawn(
+                move |_| {
+                    a.fetch_add(1, Ordering::Relaxed);
+                },
+                move |_| {
+                    b.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            t.store(99, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        assert_eq!(tail.load(Ordering::Relaxed), 99);
+    }
+
+    #[test]
+    fn worker_ids_visible_in_bodies() {
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let m = Arc::clone(&max_seen);
+        run_dag::<DynSnzi, _>(DynConfig::always_grow(), 3, move |ctx| {
+            assert_eq!(ctx.num_workers(), 3);
+            m.fetch_max(ctx.worker_id(), Ordering::Relaxed);
+        });
+        assert!(max_seen.load(Ordering::Relaxed) < 3);
+    }
+
+    #[test]
+    fn fib_end_to_end() {
+        fn fib<C: CounterFamily>(ctx: Ctx<'_, C>, n: u64, dest: Arc<AtomicU64>) {
+            if n <= 1 {
+                dest.store(n, Ordering::Relaxed);
+                return;
+            }
+            let r1 = Arc::new(AtomicU64::new(0));
+            let r2 = Arc::new(AtomicU64::new(0));
+            let (a1, a2) = (Arc::clone(&r1), Arc::clone(&r2));
+            ctx.chain(
+                move |c| {
+                    c.spawn(move |c2| fib(c2, n - 1, a1), move |c2| fib(c2, n - 2, a2));
+                },
+                move |_| {
+                    dest.store(
+                        r1.load(Ordering::Relaxed) + r2.load(Ordering::Relaxed),
+                        Ordering::Relaxed,
+                    );
+                },
+            );
+        }
+        let result = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&result);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 4, move |ctx| fib(ctx, 15, r));
+        assert_eq!(result.load(Ordering::Relaxed), 610);
+    }
+}

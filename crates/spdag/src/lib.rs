@@ -1,0 +1,60 @@
+//! # spdag — series-parallel dags with in-counter readiness detection
+//!
+//! This crate implements the paper's sp-dag data structure (Figure 3) and
+//! executes it on the work-stealing pool from the `sched` crate. It is
+//! generic over the dependency-counter algorithm via
+//! [`incounter::CounterFamily`], which is how the evaluation compares the
+//! in-counter against fetch-and-add and fixed-depth SNZI on identical dag
+//! machinery.
+//!
+//! ## Programming model
+//!
+//! A computation is a tree of *vertices*; each vertex runs a *body* (a
+//! closure) exactly once, when all its dependencies have been satisfied.
+//! Inside a body, the [`Ctx`] handle offers the two structural operations
+//! of nested parallelism, each of which must be the last dag operation the
+//! body performs (enforced by consuming the `Ctx`):
+//!
+//! * [`Ctx::spawn`]`(left, right)` — parallel composition: both closures
+//!   may run concurrently; the enclosing finish scope waits for both.
+//!   This is the paper's `spawn`, and equivalently an `async` whose
+//!   continuation is the `right` closure.
+//! * [`Ctx::chain`]`(first, then)` — serial composition: `then` runs only
+//!   after `first` *and everything `first` transitively spawns* has
+//!   finished. This is the paper's `chain`, i.e. a `finish` block with
+//!   continuation `then`.
+//!
+//! Readiness detection — "has everything in this scope finished?" — is the
+//! job of the per-finish-vertex dependency counter. The executing worker
+//! *signals* (decrements) when a vertex's body returns without spawning or
+//! chaining; the decrement that takes the counter to zero returns `true`
+//! exactly once and schedules the finish vertex. No polling, no locks.
+//!
+//! ```
+//! use spdag::run_dag;
+//! use incounter::{DynSnzi, DynConfig};
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let hits = Arc::new(AtomicU64::new(0));
+//! let h = Arc::clone(&hits);
+//! run_dag::<DynSnzi, _>(DynConfig::always_grow(), 2, move |ctx| {
+//!     let (a, b) = (Arc::clone(&h), Arc::clone(&h));
+//!     ctx.spawn(
+//!         move |_| { a.fetch_add(1, Ordering::Relaxed); },
+//!         move |_| { b.fetch_add(1, Ordering::Relaxed); },
+//!     );
+//! });
+//! assert_eq!(hits.load(Ordering::Relaxed), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod dag;
+pub mod scope;
+pub mod vertex;
+
+pub use dag::{run_dag, run_dag_timed, Ctx, DagRunStats};
+pub use scope::Scope;
+pub use vertex::Vertex;

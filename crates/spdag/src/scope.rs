@@ -1,0 +1,243 @@
+//! Multi-async scopes: `async`/`finish` with arbitrary fan-in.
+//!
+//! [`Ctx::spawn`](crate::Ctx::spawn) is binary because the sp-dag `spawn`
+//! hands one of its two fresh vertices to the continuation. But a body
+//! that wants to `async` *many* tasks into its finish scope (the paper's
+//! fanin pattern, a parallel-for) need not CPS-transform itself: the
+//! running vertex can play the continuation **in place**. Each
+//! [`Scope::fork`] performs one in-counter `increment` exactly as `spawn`
+//! does, gives the spawned task the left increment handle and the fresh
+//! decrement pair, and the running vertex *rotates* onto the right
+//! increment handle and the same pair — precisely the state its
+//! continuation vertex would have had. When the body returns, the normal
+//! signal epilogue uses the rotated state.
+//!
+//! The handle discipline is preserved verbatim, so all of Section 4's
+//! bounds apply: a `fork` is one increment (amortized O(1), O(1)
+//! contention), and exactly two claims ever hit each decrement pair (the
+//! forked task's and either the next `fork`'s inherited claim or the
+//! body's final signal).
+//!
+//! ```
+//! use spdag::run_dag;
+//! use incounter::{DynSnzi, DynConfig};
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let hits = Arc::new(AtomicU64::new(0));
+//! let h = Arc::clone(&hits);
+//! run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |ctx| {
+//!     let mut scope = ctx.into_scope();
+//!     for _ in 0..10 {
+//!         let h = Arc::clone(&h);
+//!         scope.fork(move |_| { h.fetch_add(1, Ordering::Relaxed); });
+//!     }
+//!     // Scope ends; the enclosing finish waits for all 10 forks.
+//! });
+//! assert_eq!(hits.load(Ordering::Relaxed), 10);
+//! ```
+
+use std::sync::Arc;
+
+use incounter::CounterFamily;
+
+use crate::dag::Ctx;
+use crate::vertex::{Body, Vertex, VertexPtr};
+
+/// A multi-async view of the running vertex (see module docs).
+///
+/// Dropping the scope returns control to the body; the vertex signals its
+/// finish as usual when the body ends, using the rotated handles.
+pub struct Scope<'a, C: CounterFamily> {
+    pub(crate) ctx: Ctx<'a, C>,
+}
+
+impl<'a, C: CounterFamily> Ctx<'a, C> {
+    /// Turn the context into a multi-async scope. Unlike
+    /// [`spawn`](Ctx::spawn)/[`chain`](Ctx::chain) this does **not** end
+    /// the vertex: the body keeps running as the continuation of every
+    /// [`Scope::fork`] it performs.
+    pub fn into_scope(self) -> Scope<'a, C> {
+        Scope { ctx: self }
+    }
+}
+
+impl<'a, C: CounterFamily> Scope<'a, C> {
+    /// `async body` into the enclosing finish scope: the task may run in
+    /// parallel with the rest of this body, and the finish vertex waits
+    /// for it (and everything it transitively creates).
+    pub fn fork(&mut self, body: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static) {
+        self.fork_boxed(Box::new(body));
+    }
+
+    /// Monomorphisation-friendly version of [`fork`](Scope::fork).
+    pub fn fork_boxed(&mut self, body: Body<C>) {
+        let (cfg, worker) = (self.ctx.cfg, self.ctx.worker);
+        let u = self.ctx.vertex_mut();
+        // SAFETY: `fin` is alive: this vertex is an unfinished strand of
+        // its scope (same argument as Ctx::spawn).
+        let fin_ref = unsafe { &*u.fin };
+        let fc = fin_ref.counter_ref();
+        let vid = (u as *const Vertex<C> as u64).wrapping_add(u.forks);
+        // One increment per fork, exactly as in Figure 5 ...
+        // SAFETY: u.inc belongs to fc by construction.
+        let (d2, i1, i2) = unsafe { C::increment(cfg, fc, u.inc, u.is_left, vid) };
+        // ... then claim the inherited handle and build the shared pair.
+        let d1 = u.dec.claim();
+        let pair = Arc::new(C::make_pair(cfg, d1, d2));
+        let v = Vertex::boxed(cfg, 0, i1, Arc::clone(&pair), u.fin, true, Some(body));
+        // Rotate: the running vertex becomes the right child of its own
+        // spawn — new increment handle, new shared pair, right position.
+        u.inc = i2;
+        u.dec = pair;
+        u.is_left = false;
+        u.forks += 1;
+        worker.push(VertexPtr(Box::into_raw(v)));
+    }
+
+    /// Number of forks performed through this scope so far.
+    pub fn forked(&self) -> u64 {
+        self.ctx.vertex_ref().forks
+    }
+
+    /// Index of the worker executing this body.
+    pub fn worker_id(&self) -> usize {
+        self.ctx.worker_id()
+    }
+
+    /// Number of workers in the pool.
+    pub fn num_workers(&self) -> usize {
+        self.ctx.num_workers()
+    }
+
+    /// End the scope, recovering the plain context (e.g. to terminate
+    /// with a final [`Ctx::chain`] or [`Ctx::spawn`]).
+    pub fn into_ctx(self) -> Ctx<'a, C> {
+        self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incounter::{DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
+    use crate::run_dag;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn flat_fanin<C: CounterFamily>(cfg: C::Config, workers: usize, n: u64) -> u64 {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        run_dag::<C, _>(cfg, workers, move |ctx| {
+            let mut scope = ctx.into_scope();
+            for _ in 0..n {
+                let h = Arc::clone(&h);
+                scope.fork(move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        hits.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn flat_fanin_all_families() {
+        assert_eq!(flat_fanin::<DynSnzi>(DynConfig::always_grow(), 2, 500), 500);
+        assert_eq!(flat_fanin::<DynSnzi>(DynConfig::with_threshold(8), 3, 500), 500);
+        assert_eq!(flat_fanin::<FetchAdd>((), 2, 500), 500);
+        assert_eq!(flat_fanin::<FixedDepth>(FixedConfig { depth: 3 }, 2, 500), 500);
+    }
+
+    #[test]
+    fn zero_forks_is_fine() {
+        assert_eq!(flat_fanin::<DynSnzi>(DynConfig::default(), 1, 0), 0);
+    }
+
+    #[test]
+    fn forks_nest_recursively() {
+        // Each forked task opens its own scope and forks again.
+        fn rec<C: CounterFamily>(ctx: Ctx<'_, C>, depth: u32, hits: Arc<AtomicU64>) {
+            if depth == 0 {
+                hits.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let mut scope = ctx.into_scope();
+            for _ in 0..3 {
+                let h = Arc::clone(&hits);
+                scope.fork(move |c| rec(c, depth - 1, h));
+            }
+            // This body itself also counts as a leaf of sorts — no: only
+            // count depth-0 bodies.
+        }
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 4, move |ctx| rec(ctx, 5, h));
+        assert_eq!(hits.load(Ordering::Relaxed), 3u64.pow(5));
+    }
+
+    #[test]
+    fn scope_then_chain_orders_after_forks() {
+        // Forks complete before the chained continuation: the chain's
+        // `first` nests a full finish scope.
+        let hits = Arc::new(AtomicU64::new(0));
+        let seen_at_then = Arc::new(AtomicU64::new(u64::MAX));
+        let (h, s) = (Arc::clone(&hits), Arc::clone(&seen_at_then));
+        run_dag::<DynSnzi, _>(DynConfig::default(), 4, move |ctx| {
+            ctx.chain(
+                move |c| {
+                    let mut scope = c.into_scope();
+                    for _ in 0..64 {
+                        let h = Arc::clone(&h);
+                        scope.fork(move |_| {
+                            h.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                },
+                move |_| {
+                    s.store(hits.load(Ordering::Relaxed), Ordering::Relaxed);
+                },
+            );
+        });
+        assert_eq!(
+            seen_at_then.load(Ordering::Relaxed),
+            64,
+            "the chained continuation must observe all forks done"
+        );
+    }
+
+    #[test]
+    fn fork_counter_reports() {
+        let forked = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&forked);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |ctx| {
+            let mut scope = ctx.into_scope();
+            for _ in 0..7 {
+                scope.fork(|_| {});
+            }
+            f.store(scope.forked(), Ordering::Relaxed);
+        });
+        assert_eq!(forked.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn scope_into_ctx_allows_final_spawn() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |ctx| {
+            let mut scope = ctx.into_scope();
+            let h1 = Arc::clone(&h);
+            scope.fork(move |_| {
+                h1.fetch_add(1, Ordering::Relaxed);
+            });
+            let (h2, h3) = (Arc::clone(&h), h);
+            scope.into_ctx().spawn(
+                move |_| {
+                    h2.fetch_add(10, Ordering::Relaxed);
+                },
+                move |_| {
+                    h3.fetch_add(100, Ordering::Relaxed);
+                },
+            );
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 111);
+    }
+}

@@ -1,0 +1,138 @@
+//! Dag vertices (the paper's Figure 3 `vertex` struct).
+//!
+//! A vertex carries:
+//!
+//! * its own dependency counter (the paper's `query` handle) — allocated
+//!   **lazily**: only finish vertices (the final vertex of the dag and the
+//!   `w` of every `chain`) start with a non-zero count and are ever
+//!   counted against, so plain spawn children skip the allocation
+//!   entirely. This matches the paper's implementation, which allocates
+//!   one counter per finish block;
+//! * an increment handle `inc` and a shared decrement pair `dec`, both
+//!   aimed into the counter of the vertex's *finish vertex* `fin`;
+//! * the `is_left` bit (which of its parent's two children this vertex
+//!   is), used by the in-counter to spread sibling traffic onto disjoint
+//!   SNZI nodes (Figure 5, line 22);
+//! * the `dead` flag, set when the vertex ends by spawning or chaining
+//!   instead of signalling;
+//! * the body closure, taken exactly once by the executing worker.
+//!
+//! ## Ownership, aliasing and lifetime discipline
+//!
+//! Vertices are heap-allocated and travel through the scheduler as raw
+//! pointers (`VertexPtr`). The executing worker takes back ownership,
+//! holds the vertex **exclusively** while its body runs (which is what
+//! lets [`Scope::fork`](crate::Scope::fork) rotate the handles through
+//! plain `&mut` fields), and frees it when the body (plus signal)
+//! completes. This is safe because of the sp-dag structure the paper's
+//! analysis leans on:
+//!
+//! * a vertex executes only after all vertices that reference it (as
+//!   their `fin`, or through handles into its counter) have signalled;
+//! * the only field of a vertex ever accessed through a shared reference
+//!   from other threads is `counter` (by its scope's concurrent signals),
+//!   and counters are `Sync`;
+//! * handles a vertex hands out point into its *finish vertex's* counter,
+//!   and a finish vertex executes — hence is freed — strictly after every
+//!   vertex of its scope.
+
+use std::sync::Arc;
+
+use incounter::{CounterFamily, DecPair};
+use sched::Word;
+
+use crate::dag::Ctx;
+
+/// A vertex body: run exactly once with the executing worker's context.
+pub type Body<C> = Box<dyn for<'a> FnOnce(Ctx<'a, C>) + Send + 'static>;
+
+/// One vertex of the sp-dag.
+pub struct Vertex<C: CounterFamily> {
+    /// This vertex's own dependency counter (`None` until someone needs to
+    /// wait on this vertex, i.e. for non-finish vertices).
+    pub(crate) counter: Option<C::Counter>,
+    /// Increment handle into `fin`'s counter (rotated by `Scope::fork`).
+    pub(crate) inc: C::Inc,
+    /// Ordered decrement pair into `fin`'s counter, shared with the sibling.
+    pub(crate) dec: Arc<DecPair<C::Dec>>,
+    /// The finish vertex this vertex signals; null only for the final
+    /// vertex of the whole dag.
+    pub(crate) fin: *const Vertex<C>,
+    /// Left/right position under the parent (spreads in-counter traffic).
+    pub(crate) is_left: bool,
+    /// Set when the vertex terminates by spawning/chaining (no signal).
+    pub(crate) dead: bool,
+    /// Number of `Scope::fork`s performed by this vertex (also salts the
+    /// placement key so consecutive forks hash to different leaves).
+    pub(crate) forks: u64,
+    /// The code to run; taken by the executor.
+    pub(crate) body: Option<Body<C>>,
+}
+
+// SAFETY: the only field accessed through `&Vertex` across threads is
+// `counter` (Sync by the CounterFamily bounds); every other field is
+// touched solely by the single creator (before publication) or the single
+// executor (which holds the vertex exclusively). The raw `fin` pointer is
+// dereferenced only while the pointee is provably alive (see module docs).
+unsafe impl<C: CounterFamily> Send for Vertex<C> {}
+unsafe impl<C: CounterFamily> Sync for Vertex<C> {}
+
+impl<C: CounterFamily> Vertex<C> {
+    /// Allocate a vertex (the paper's `new_vertex`, with the counter made
+    /// lazily: `n = 0` vertices carry no counter).
+    pub(crate) fn boxed(
+        cfg: &C::Config,
+        n: u64,
+        inc: C::Inc,
+        dec: Arc<DecPair<C::Dec>>,
+        fin: *const Vertex<C>,
+        is_left: bool,
+        body: Option<Body<C>>,
+    ) -> Box<Vertex<C>> {
+        Box::new(Vertex {
+            counter: if n > 0 { Some(C::make(cfg, n)) } else { None },
+            inc,
+            dec,
+            fin,
+            is_left,
+            dead: false,
+            forks: 0,
+            body,
+        })
+    }
+
+    /// The counter of this vertex; panics if the vertex is not a finish
+    /// vertex (an sp-dag structural bug, not a user error).
+    pub(crate) fn counter_ref(&self) -> &C::Counter {
+        self.counter
+            .as_ref()
+            .expect("sp-dag invariant violated: finish vertex without a counter")
+    }
+
+    /// Non-destructive zero test on this vertex's own counter (the paper's
+    /// `is_zero`); `true` for vertices that never had dependencies.
+    pub fn is_zero(&self) -> bool {
+        match &self.counter {
+            Some(c) => C::is_zero(c),
+            None => true,
+        }
+    }
+}
+
+/// A word-sized, sendable pointer to a scheduled vertex.
+pub(crate) struct VertexPtr<C: CounterFamily>(pub(crate) *mut Vertex<C>);
+
+// SAFETY: ownership of the pointee travels with the pointer; the dag
+// discipline hands each vertex to exactly one executor.
+unsafe impl<C: CounterFamily> Send for VertexPtr<C> {}
+
+// SAFETY: round-trips through a machine word losslessly; ownership moves
+// with the word exactly once (deque protocol).
+unsafe impl<C: CounterFamily> Word for VertexPtr<C> {
+    fn into_word(self) -> usize {
+        self.0 as usize
+    }
+    unsafe fn from_word(w: usize) -> Self {
+        VertexPtr(w as *mut Vertex<C>)
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: spawn parallel work, synchronise with a chain, read results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dynsnzi::prelude::*;
+
+fn main() {
+    // A runtime with one worker per hardware thread and the paper's
+    // recommended growth probability 1/(25·cores).
+    let rt = Runtime::new();
+    println!("running on {} workers", rt.num_workers());
+
+    // Sum 1..=100 with a fork-join split, then print in a continuation
+    // that is guaranteed to run after both halves finished.
+    let low = Arc::new(AtomicU64::new(0));
+    let high = Arc::new(AtomicU64::new(0));
+    let out = OutCell::new();
+
+    let (low2, high2, out2) = (Arc::clone(&low), Arc::clone(&high), out.clone());
+    let stats = rt.run(move |ctx| {
+        ctx.chain(
+            // first: two strands running in parallel
+            move |c| {
+                let (l, h) = (low, high);
+                c.spawn(
+                    move |_| {
+                        l.store((1..=50u64).sum(), Ordering::Relaxed);
+                    },
+                    move |_| {
+                        h.store((51..=100u64).sum(), Ordering::Relaxed);
+                    },
+                );
+            },
+            // then: runs only after *everything* above completed
+            move |_| {
+                let total =
+                    low2.load(Ordering::Relaxed) + high2.load(Ordering::Relaxed);
+                out2.set(total);
+            },
+        );
+    });
+
+    let total = out.take().expect("continuation ran");
+    println!("sum(1..=100) = {total}");
+    assert_eq!(total, 5050);
+    println!(
+        "executed {} dag vertices ({} steals, {} parks)",
+        stats.pool.tasks, stats.pool.steals, stats.pool.parks
+    );
+}

@@ -1,0 +1,2 @@
+//! Umbrella package for the dynsnzi workspace; hosts integration tests and
+//! examples. See the `dynsnzi` crate for the library itself.

@@ -1,0 +1,176 @@
+//! Property-based testing of the sp-dag: random series-parallel programs
+//! are generated, executed on real worker pools under every counter
+//! family, and checked against the two semantic guarantees of nested
+//! parallelism:
+//!
+//! 1. every leaf body runs exactly once, and
+//! 2. serial composition is really serial — for `Chain(a, b)`, every leaf
+//!    of `a` (including everything it transitively spawns) observes a
+//!    globally ordered timestamp strictly smaller than every leaf of `b`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use incounter::{CounterFamily, DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
+use proptest::prelude::*;
+use spdag::{run_dag, Ctx};
+
+#[derive(Debug, Clone)]
+enum Prog {
+    Leaf,
+    Spawn(Box<Prog>, Box<Prog>),
+    Chain(Box<Prog>, Box<Prog>),
+}
+
+impl Prog {
+    fn leaves(&self) -> usize {
+        match self {
+            Prog::Leaf => 1,
+            Prog::Spawn(a, b) | Prog::Chain(a, b) => a.leaves() + b.leaves(),
+        }
+    }
+}
+
+fn prog_strategy() -> impl Strategy<Value = Prog> {
+    let leaf = Just(Prog::Leaf);
+    leaf.prop_recursive(5, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Prog::Spawn(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Prog::Chain(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// Execute `prog`, stamping each leaf (numbered left to right from `lo`)
+/// with a global sequence number.
+fn exec<C: CounterFamily>(
+    ctx: Ctx<'_, C>,
+    prog: Prog,
+    lo: usize,
+    stamps: Arc<Vec<AtomicU64>>,
+    seq: Arc<AtomicU64>,
+) {
+    match prog {
+        Prog::Leaf => {
+            let stamp = seq.fetch_add(1, Ordering::SeqCst) + 1;
+            let prev = stamps[lo].swap(stamp, Ordering::SeqCst);
+            assert_eq!(prev, 0, "leaf {lo} executed twice");
+        }
+        Prog::Spawn(a, b) => {
+            let la = a.leaves();
+            let (s1, s2) = (Arc::clone(&stamps), stamps);
+            let (q1, q2) = (Arc::clone(&seq), seq);
+            ctx.spawn(
+                move |c| exec(c, *a, lo, s1, q1),
+                move |c| exec(c, *b, lo + la, s2, q2),
+            );
+        }
+        Prog::Chain(a, b) => {
+            let la = a.leaves();
+            let (s1, s2) = (Arc::clone(&stamps), stamps);
+            let (q1, q2) = (Arc::clone(&seq), seq);
+            ctx.chain(
+                move |c| exec(c, *a, lo, s1, q1),
+                move |c| exec(c, *b, lo + la, s2, q2),
+            );
+        }
+    }
+}
+
+/// Walk the program and check the chain-ordering property against the
+/// recorded stamps. Returns (min, max) stamp of the subtree.
+fn check_order(prog: &Prog, lo: usize, stamps: &[AtomicU64]) -> (u64, u64) {
+    match prog {
+        Prog::Leaf => {
+            let s = stamps[lo].load(Ordering::SeqCst);
+            assert!(s > 0, "leaf {lo} never executed");
+            (s, s)
+        }
+        Prog::Spawn(a, b) => {
+            let (alo, ahi) = check_order(a, lo, stamps);
+            let (blo, bhi) = check_order(b, lo + a.leaves(), stamps);
+            (alo.min(blo), ahi.max(bhi))
+        }
+        Prog::Chain(a, b) => {
+            let (alo, ahi) = check_order(a, lo, stamps);
+            let (blo, bhi) = check_order(b, lo + a.leaves(), stamps);
+            assert!(
+                ahi < blo,
+                "chain violated: first side reached stamp {ahi}, \
+                 second side started at {blo}"
+            );
+            (alo.min(blo), ahi.max(bhi))
+        }
+    }
+}
+
+fn run_prog<C: CounterFamily>(cfg: C::Config, workers: usize, prog: &Prog) {
+    let n = prog.leaves();
+    let stamps = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+    let seq = Arc::new(AtomicU64::new(0));
+    let (s, q) = (Arc::clone(&stamps), Arc::clone(&seq));
+    let p = prog.clone();
+    run_dag::<C, _>(cfg, workers, move |ctx| exec(ctx, p, 0, s, q));
+    assert_eq!(seq.load(Ordering::SeqCst) as usize, n, "every leaf stamped");
+    check_order(prog, 0, &stamps);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_dags_incounter_always_grow(prog in prog_strategy(), workers in 1usize..4) {
+        run_prog::<DynSnzi>(DynConfig::always_grow(), workers, &prog);
+    }
+
+    #[test]
+    fn random_dags_incounter_probabilistic(prog in prog_strategy(), workers in 1usize..4) {
+        run_prog::<DynSnzi>(DynConfig::with_threshold(4), workers, &prog);
+    }
+
+    #[test]
+    fn random_dags_incounter_never_grow(prog in prog_strategy(), workers in 1usize..4) {
+        // Failure injection: the tree degenerates to a single cell; the
+        // contention bound is forfeited but correctness must hold.
+        run_prog::<DynSnzi>(DynConfig::never_grow(), workers, &prog);
+    }
+
+    #[test]
+    fn random_dags_fetch_add(prog in prog_strategy(), workers in 1usize..4) {
+        run_prog::<FetchAdd>((), workers, &prog);
+    }
+
+    #[test]
+    fn random_dags_fixed_depth(prog in prog_strategy(), depth in 0u32..5, workers in 1usize..4) {
+        run_prog::<FixedDepth>(FixedConfig { depth }, workers, &prog);
+    }
+}
+
+#[test]
+fn handcrafted_worst_cases() {
+    // Deep left chain of chains.
+    let mut p = Prog::Leaf;
+    for _ in 0..24 {
+        p = Prog::Chain(Box::new(p), Box::new(Prog::Leaf));
+    }
+    run_prog::<DynSnzi>(DynConfig::always_grow(), 2, &p);
+
+    // Deep spawn ladder.
+    let mut p = Prog::Leaf;
+    for _ in 0..24 {
+        p = Prog::Spawn(Box::new(p), Box::new(Prog::Leaf));
+    }
+    run_prog::<DynSnzi>(DynConfig::always_grow(), 3, &p);
+
+    // Alternating chain/spawn.
+    let mut p = Prog::Leaf;
+    for i in 0..24 {
+        p = if i % 2 == 0 {
+            Prog::Chain(Box::new(Prog::Leaf), Box::new(p))
+        } else {
+            Prog::Spawn(Box::new(p), Box::new(Prog::Leaf))
+        };
+    }
+    run_prog::<FetchAdd>((), 2, &p);
+}

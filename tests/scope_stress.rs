@@ -1,0 +1,121 @@
+//! Stress for the multi-async `Scope` path: very wide flat fan-ins (the
+//! handle-rotation protocol builds a deep right spine in the SNZI tree
+//! when p = 1), chaos scheduling with injected yields, and mixtures of
+//! scopes with structured spawn/chain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use incounter::{CounterFamily, DynConfig, DynSnzi, FetchAdd};
+use spdag::{run_dag, Ctx};
+
+#[test]
+fn very_wide_flat_fanin_p1_no_overflow() {
+    // p = 1 makes every fork descend one level: a 30k-deep SNZI spine.
+    // Departure cascades must not overflow the stack and readiness must
+    // fire exactly once.
+    let n = 30_000u64;
+    let hits = Arc::new(AtomicU64::new(0));
+    let h = Arc::clone(&hits);
+    run_dag::<DynSnzi, _>(DynConfig::always_grow(), 2, move |ctx| {
+        let mut scope = ctx.into_scope();
+        for _ in 0..n {
+            let h = Arc::clone(&h);
+            scope.fork(move |_| {
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), n);
+}
+
+#[test]
+fn wide_fanin_probabilistic_thresholds() {
+    for threshold in [2u64, 64, 100_000] {
+        let n = 20_000u64;
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        run_dag::<DynSnzi, _>(DynConfig::with_threshold(threshold), 3, move |ctx| {
+            let mut scope = ctx.into_scope();
+            for _ in 0..n {
+                let h = Arc::clone(&h);
+                scope.fork(move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), n, "threshold {threshold}");
+    }
+}
+
+#[test]
+fn chaos_yields_inside_forked_tasks() {
+    // Inject scheduling noise: every task yields pseudo-randomly, pushing
+    // the pool through park/steal paths mid-dag.
+    let n = 2_000u64;
+    let hits = Arc::new(AtomicU64::new(0));
+    let h = Arc::clone(&hits);
+    run_dag::<DynSnzi, _>(DynConfig::with_threshold(8), 4, move |ctx| {
+        let mut scope = ctx.into_scope();
+        for i in 0..n {
+            let h = Arc::clone(&h);
+            scope.fork(move |_| {
+                if i % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                if i % 131 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                h.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), n);
+}
+
+#[test]
+fn forks_mixed_with_structured_ops() {
+    // Each forked task itself chains and spawns; the scope must wait for
+    // the *transitive* completion of everything.
+    fn leafwork<C: CounterFamily>(ctx: Ctx<'_, C>, hits: Arc<AtomicU64>) {
+        let h = Arc::clone(&hits);
+        ctx.chain(
+            move |c| {
+                let (a, b) = (Arc::clone(&h), h);
+                c.spawn(
+                    move |_| {
+                        a.fetch_add(1, Ordering::Relaxed);
+                    },
+                    move |_| {
+                        b.fetch_add(1, Ordering::Relaxed);
+                    },
+                );
+            },
+            move |_| {},
+        );
+    }
+    for workers in [1, 4] {
+        let hits = Arc::new(AtomicU64::new(0));
+        let seen_at_end = Arc::new(AtomicU64::new(0));
+        let (h, s) = (Arc::clone(&hits), Arc::clone(&seen_at_end));
+        run_dag::<FetchAdd, _>((), workers, move |ctx| {
+            ctx.chain(
+                move |c| {
+                    let mut scope = c.into_scope();
+                    for _ in 0..100 {
+                        let h = Arc::clone(&h);
+                        scope.fork(move |c2| leafwork(c2, h));
+                    }
+                },
+                move |_| {
+                    s.store(hits.load(Ordering::Relaxed), Ordering::Relaxed);
+                },
+            );
+        });
+        assert_eq!(
+            seen_at_end.load(Ordering::Relaxed),
+            200,
+            "workers={workers}: continuation must observe all nested work"
+        );
+    }
+}

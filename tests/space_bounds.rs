@@ -1,0 +1,161 @@
+//! Space accounting (the paper's Section 4.2 / Appendix B and the
+//! artifact's `nb_incounter_nodes` output).
+//!
+//! Two properties:
+//!
+//! 1. the tree never holds more nodes than dag vertices created — "there
+//!    are never more nodes in the in-counter than the total number of dag
+//!    vertices created" (Appendix B), and with probabilistic growth the
+//!    expected node count is ~`2·increments/threshold` — the artifact's
+//!    example records 415 nodes for n = 16.7M at threshold 40000;
+//! 2. pruning per Lemma B.1 (subtree surplus returned to zero) recovers
+//!    the space while the tree keeps functioning.
+
+use std::sync::Arc;
+
+use incounter::{CounterFamily, DecPair, DynConfig, DynSnzi};
+use snzi::{Probability, SnziTree};
+
+struct SimV {
+    inc: snzi::Handle,
+    pair: Arc<DecPair<snzi::Handle>>,
+    is_left: bool,
+}
+
+impl Clone for SimV {
+    fn clone(&self) -> Self {
+        SimV { inc: self.inc, pair: Arc::clone(&self.pair), is_left: self.is_left }
+    }
+}
+
+fn root_vertex(tree: &SnziTree) -> SimV {
+    let d = tree.root_handle();
+    SimV { inc: d, pair: Arc::new(DecPair::new(d, d)), is_left: true }
+}
+
+fn sim_spawn(cfg: &DynConfig, tree: &SnziTree, u: &SimV, vid: u64) -> (SimV, SimV) {
+    let (d2, i1, i2) = unsafe { DynSnzi::increment(cfg, tree, u.inc, u.is_left, vid) };
+    let d1 = u.pair.claim();
+    let pair = Arc::new(DecPair::new(d1, d2));
+    (
+        SimV { inc: i1, pair: Arc::clone(&pair), is_left: true },
+        SimV { inc: i2, pair, is_left: false },
+    )
+}
+
+fn sim_signal(tree: &SnziTree, u: &SimV) -> bool {
+    unsafe { DynSnzi::decrement(tree, u.pair.claim()) }
+}
+
+/// fanin-shaped run: n strands spawned breadth-first, then signalled.
+fn run_fanin_sim(cfg: &DynConfig, leaves_pow: u32) -> (SnziTree, u64) {
+    let tree = DynSnzi::make(cfg, 1);
+    let mut frontier = vec![root_vertex(&tree)];
+    let mut vid = 0;
+    for _ in 0..leaves_pow {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for u in &frontier {
+            vid += 1;
+            let (v, w) = sim_spawn(cfg, &tree, u, vid);
+            next.push(v);
+            next.push(w);
+        }
+        frontier = next;
+    }
+    let mut zeros = 0;
+    for leaf in &frontier {
+        if sim_signal(&tree, leaf) {
+            zeros += 1;
+        }
+    }
+    assert_eq!(zeros, 1);
+    (tree, vid)
+}
+
+#[test]
+fn node_count_never_exceeds_vertex_count() {
+    // With p = 1 the tree grows one pair per increment: nodes = 1 + 2·inc,
+    // and each increment creates two dag vertices — the Appendix B bound.
+    let cfg = DynConfig::always_grow();
+    for pow in [4u32, 8, 11] {
+        let (tree, increments) = run_fanin_sim(&cfg, pow);
+        let nodes = tree.stats().node_count();
+        let vertices_created = 2 * increments; // two per spawn
+        assert!(
+            nodes <= vertices_created + 1,
+            "pow={pow}: {nodes} nodes > {vertices_created} vertices"
+        );
+        assert_eq!(nodes, 1 + 2 * increments);
+    }
+}
+
+#[test]
+fn probabilistic_growth_keeps_trees_tiny() {
+    // The artifact reports 415 nodes for 16.7M increments at threshold
+    // 40000 — i.e. node count ≈ 2·increments/threshold, thousands of
+    // times smaller than the dag. Check the same scaling here.
+    for threshold in [64u64, 256, 1024] {
+        let cfg = DynConfig::with_threshold(threshold);
+        let (tree, increments) = run_fanin_sim(&cfg, 14); // 16383 increments
+        let nodes = tree.stats().node_count();
+        let expected = 1 + 2 * increments / threshold;
+        assert!(
+            nodes <= expected * 8 + 16,
+            "threshold {threshold}: {nodes} nodes, expected ≈{expected}"
+        );
+        assert!(
+            nodes < increments / 4,
+            "threshold {threshold}: the tree must stay far smaller than the dag"
+        );
+    }
+}
+
+#[test]
+fn never_grow_is_constant_space() {
+    let cfg = DynConfig::never_grow();
+    let (tree, _) = run_fanin_sim(&cfg, 10);
+    assert_eq!(tree.stats().node_count(), 1);
+}
+
+#[test]
+fn pruning_recovers_space_during_a_run() {
+    // Interleave work and Lemma B.1 pruning on a shrinkable tree: after
+    // each drained burst, prune below the root and verify the node count
+    // returns to 1 while the tree stays usable.
+    let tree = SnziTree::with_probability(1, Probability::ALWAYS).shrinkable();
+    for round in 0..50 {
+        // Open a fresh "finish block": one unit of surplus backing the
+        // round's root strand (mirrors Incounter.make(1) per block).
+        unsafe { tree.arrive(tree.root_handle()) };
+        let root = root_vertex(&tree);
+        // A small burst: spawn 8 strands, signal them all. The burst's
+        // 7 increments + 1 block-opening arrive balance its 8 signals.
+        let mut frontier = vec![root];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for u in &frontier {
+                let cfg = DynConfig::always_grow();
+                let (v, w) = sim_spawn(&cfg, &tree, u, round);
+                next.push(v);
+                next.push(w);
+            }
+            frontier = next;
+        }
+        for leaf in &frontier {
+            let ended = sim_signal(&tree, leaf);
+            assert!(!ended, "initial surplus 1 keeps the tree non-zero");
+        }
+        // Quiescent below the root: prune (Lemma B.1 applies — every
+        // subtree's surplus returned to zero).
+        unsafe {
+            let _ = tree.prune_children_deferred(tree.root_handle());
+        }
+        let s = tree.stats();
+        assert_eq!(
+            s.node_count(),
+            1,
+            "round {round}: pruning must reclaim everything below the root"
+        );
+    }
+    assert!(tree.query(), "the initial surplus survived 50 prune rounds");
+}
