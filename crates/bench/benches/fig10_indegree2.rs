@@ -23,11 +23,9 @@ fn bench(c: &mut Criterion) {
             Algo::Fixed { depth: 4 },
             Algo::incounter_default(workers),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), workers),
-                &workers,
-                |b, &w| b.iter(|| algo.run_indegree2(w, N)),
-            );
+            g.bench_with_input(BenchmarkId::new(algo.name(), workers), &workers, |b, &w| {
+                b.iter(|| algo.run_indegree2(w, N))
+            });
         }
     }
     g.finish();

@@ -18,11 +18,9 @@ fn bench(c: &mut Criterion) {
     let workers = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
     for threshold in [1u64, 10, 100, 1_000, 100_000] {
         let algo = Algo::incounter_threshold(threshold);
-        g.bench_with_input(
-            BenchmarkId::new("incounter", threshold),
-            &threshold,
-            |b, _| b.iter(|| algo.run_fanin(workers, N, 0)),
-        );
+        g.bench_with_input(BenchmarkId::new("incounter", threshold), &threshold, |b, _| {
+            b.iter(|| algo.run_fanin(workers, N, 0))
+        });
     }
     g.finish();
 }

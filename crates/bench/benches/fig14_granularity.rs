@@ -20,11 +20,9 @@ fn bench(c: &mut Criterion) {
             _ => 1 << 12,
         };
         for algo in [Algo::FetchAdd, Algo::incounter_default(workers)] {
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), leaf_work),
-                &leaf_work,
-                |b, &wk| b.iter(|| algo.run_fanin(workers, n, wk)),
-            );
+            g.bench_with_input(BenchmarkId::new(algo.name(), leaf_work), &leaf_work, |b, &wk| {
+                b.iter(|| algo.run_fanin(workers, n, wk))
+            });
         }
     }
     g.finish();

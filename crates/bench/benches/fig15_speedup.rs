@@ -18,11 +18,9 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(1));
     for workers in [1usize, 2, 4] {
         for algo in [Algo::FetchAdd, Algo::Fixed { depth: 9 }, Algo::incounter_default(workers)] {
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), workers),
-                &workers,
-                |b, &w| b.iter(|| algo.run_fanin(w, N, LEAF_WORK)),
-            );
+            g.bench_with_input(BenchmarkId::new(algo.name(), workers), &workers, |b, &w| {
+                b.iter(|| algo.run_fanin(w, N, LEAF_WORK))
+            });
         }
     }
     g.finish();

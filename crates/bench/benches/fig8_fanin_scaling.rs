@@ -22,11 +22,9 @@ fn bench(c: &mut Criterion) {
             Algo::Fixed { depth: 6 },
             Algo::incounter_default(workers),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), workers),
-                &workers,
-                |b, &w| b.iter(|| algo.run_fanin(w, N, 0)),
-            );
+            g.bench_with_input(BenchmarkId::new(algo.name(), workers), &workers, |b, &w| {
+                b.iter(|| algo.run_fanin(w, N, 0))
+            });
         }
     }
     g.finish();

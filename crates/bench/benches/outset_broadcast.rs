@@ -1,0 +1,59 @@
+//! Criterion counterpart of the out-set study: the tree-of-blocks
+//! broadcast against the `Mutex<Vec>` baseline on the raw add path, the
+//! dag-level fanout broadcast and the pipeline wavefront. Expected shape:
+//! mutex wins uncontended (no slot machinery), tree wins under add
+//! contention (lane spreading), pipelines trade per-future footprint
+//! against add scalability.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynsnzi_bench::workloads::{
+    fanout_broadcast_ops, pipeline_stages_ops, raw_outset_bench, RawOutset,
+};
+use dynsnzi_bench::Algo;
+use incounter::DynConfig;
+
+const RAW_ADDS: u64 = 100_000;
+const FANOUT_N: u64 = 1 << 14;
+
+fn bench(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
+    let mut g = c.benchmark_group("outset_broadcast");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for kind in [RawOutset::Tree, RawOutset::Mutex] {
+        for threads in [1usize, workers, 2 * workers] {
+            g.throughput(Throughput::Elements(threads as u64 * RAW_ADDS));
+            g.bench_with_input(
+                BenchmarkId::new(format!("raw/{}", kind.name()), threads),
+                &threads,
+                |b, &t| b.iter(|| raw_outset_bench(kind, t, RAW_ADDS)),
+            );
+        }
+        g.throughput(Throughput::Elements(fanout_broadcast_ops(FANOUT_N)));
+        g.bench_with_input(
+            BenchmarkId::new(format!("fanout/{}", kind.name()), workers),
+            &workers,
+            |b, &w| {
+                let cfg = DynConfig::with_threshold(Algo::default_threshold(w));
+                b.iter(|| kind.run_fanout(cfg, w, FANOUT_N))
+            },
+        );
+        let (stages, width) = (32u64, 256u64);
+        g.throughput(Throughput::Elements(pipeline_stages_ops(stages, width)));
+        g.bench_with_input(
+            BenchmarkId::new(format!("pipeline/{}", kind.name()), workers),
+            &workers,
+            |b, &w| {
+                let cfg = DynConfig::with_threshold(Algo::default_threshold(w));
+                b.iter(|| kind.run_pipeline(cfg, w, stages, width))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

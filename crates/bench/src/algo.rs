@@ -34,7 +34,14 @@ impl Algo {
     /// good-threshold plateau (see Figure 11), so the default takes the
     /// larger of the formula and 1000.
     pub fn incounter_default(workers: usize) -> Algo {
-        Algo::InCounter { threshold: (25 * workers.max(1) as u64).max(1000), pregrow: 0 }
+        Algo::InCounter { threshold: Algo::default_threshold(workers), pregrow: 0 }
+    }
+
+    /// The recommended growth threshold for a worker count — the single
+    /// source of the `max(25·workers, 1000)` rule, shared with the
+    /// out-set studies so every benchmark runs the same in-counter.
+    pub fn default_threshold(workers: usize) -> u64 {
+        (25 * workers.max(1) as u64).max(1000)
     }
 
     /// In-counter with an explicit threshold (Figure 11's sweep).
@@ -92,11 +99,9 @@ impl Algo {
             Algo::Fixed { depth } => {
                 workloads::indegree2::<FixedDepth>(FixedConfig { depth }, workers, n)
             }
-            Algo::InCounter { threshold, pregrow } => workloads::indegree2::<DynSnzi>(
-                Self::dyn_config(threshold, pregrow),
-                workers,
-                n,
-            ),
+            Algo::InCounter { threshold, pregrow } => {
+                workloads::indegree2::<DynSnzi>(Self::dyn_config(threshold, pregrow), workers, n)
+            }
         }
     }
 }
@@ -110,10 +115,7 @@ mod tests {
         assert_eq!(Algo::FetchAdd.name(), "fetch-add");
         assert_eq!(Algo::Fixed { depth: 4 }.name(), "snzi-depth-4");
         assert_eq!(Algo::incounter_threshold(100).name(), "incounter-t100");
-        assert_eq!(
-            Algo::InCounter { threshold: 50, pregrow: 2 }.name(),
-            "incounter-t50-pregrow2"
-        );
+        assert_eq!(Algo::InCounter { threshold: 50, pregrow: 2 }.name(), "incounter-t50-pregrow2");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The evaluation harness: regenerates every figure of the paper.
 //!
 //! ```text
-//! harness <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|all> [flags]
+//! harness <fig8|...|fig15|outset|all> [flags]
 //!
 //! flags:
 //!   --n <N>            benchmark size (default: 131072; paper: 8388608)
@@ -23,9 +23,11 @@ use std::time::Duration;
 use dynsnzi_bench::report::{fmt_throughput, print_row, Record, Reporter};
 use dynsnzi_bench::sweep::{median_duration, run_repeated, throughput_per_core, MeasureOpts};
 use dynsnzi_bench::workloads::{
-    calibrate_dummy_unit_ns, fanin_ops, indegree2_ops, raw_counter_bench, RawCounter,
+    calibrate_dummy_unit_ns, fanin_ops, fanout_broadcast_ops, indegree2_ops, pipeline_stages_ops,
+    raw_counter_bench, raw_outset_bench, RawCounter, RawOutset,
 };
 use dynsnzi_bench::Algo;
+use incounter::DynConfig;
 
 struct Opts {
     figures: Vec<String>,
@@ -62,7 +64,9 @@ fn parse_args() -> Opts {
                 println!("see module docs: harness <fig8..fig15|all> [--n N] [--runs R] ...");
                 std::process::exit(0);
             }
-            fig if fig.starts_with("fig") || fig == "all" => figures.push(fig.to_string()),
+            fig if fig.starts_with("fig") || fig == "all" || fig == "outset" => {
+                figures.push(fig.to_string())
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -111,6 +115,9 @@ fn main() {
     }
     if want("fig15") {
         fig15(&opts);
+    }
+    if want("outset") {
+        outset_bench(&opts);
     }
 }
 
@@ -170,20 +177,14 @@ fn fig8(opts: &Opts) {
         // Last row: the in-counter, whose threshold tracks the worker count.
         let mut cols = Vec::new();
         for &w in &workers {
-            let algo = if algo_kind < algos.len() {
-                algos[algo_kind]
-            } else {
-                Algo::incounter_default(w)
-            };
+            let algo =
+                if algo_kind < algos.len() { algos[algo_kind] } else { Algo::incounter_default(w) };
             let t = measure(opts.measure.runs, || algo.run_fanin(w, opts.measure.n, 0));
             record_fanin(&mut rep, &algo, w, opts.measure.n, 0, t);
             cols.push(fmt_throughput(throughput_per_core(fanin_ops(opts.measure.n), t, w)));
         }
-        let name = if algo_kind < algos.len() {
-            algos[algo_kind].name()
-        } else {
-            "incounter".to_string()
-        };
+        let name =
+            if algo_kind < algos.len() { algos[algo_kind].name() } else { "incounter".to_string() };
         let mut row = vec![name];
         row.extend(cols);
         print_row(&row);
@@ -345,6 +346,81 @@ fn fig13(opts: &Opts) {
             let t = measure(opts.measure.runs, || algo.run_fanin(w, opts.measure.n, 0));
             record_fanin(&mut rep, &algo, w, opts.measure.n, 0, t);
             row.push(fmt_throughput(throughput_per_core(fanin_ops(opts.measure.n), t, w)));
+        }
+        print_row(&row);
+    }
+    println!("# wrote {}", rep.path().display());
+}
+
+/// Out-set study: the tree-of-blocks broadcast against the `Mutex<Vec>`
+/// baseline, on (a) the raw add path under thread contention, (b) the
+/// dag-level fanout broadcast, and (c) the pipeline wavefront.
+fn outset_bench(opts: &Opts) {
+    let n = (opts.measure.n / 4).max(1 << 10);
+    let mut rep = Reporter::create(&opts.outdir, "outset").expect("results dir");
+    let workers = opts.measure.worker_counts();
+    let kinds = [RawOutset::Tree, RawOutset::Mutex];
+
+    println!("\n## Outset (raw) — adds/s/core vs threads, one shared out-set");
+    let mut header = vec!["outset \\ threads".to_string()];
+    header.extend(workers.iter().map(|w| w.to_string()));
+    print_row(&header);
+    let raw_adds = (opts.measure.n / 8).max(1 << 12);
+    for kind in kinds {
+        let mut row = vec![kind.name().to_string()];
+        for &t in &workers {
+            let elapsed = measure(opts.measure.runs, || raw_outset_bench(kind, t, raw_adds));
+            let ops = t as u64 * raw_adds;
+            let mut r = Record::new("raw-outset", kind.name());
+            r.input("proc", t).input("adds", raw_adds);
+            r.output("exectime", format!("{:.6}", elapsed.as_secs_f64())).output(
+                "throughput_per_core",
+                format!("{:.1}", throughput_per_core(ops, elapsed, t)),
+            );
+            rep.record(&r);
+            row.push(fmt_throughput(throughput_per_core(ops, elapsed, t)));
+        }
+        print_row(&row);
+    }
+
+    println!("\n## Outset (dag) — fanout_broadcast, n={n}, ops/s/core vs workers");
+    let mut header = vec!["outset \\ workers".to_string()];
+    header.extend(workers.iter().map(|w| w.to_string()));
+    print_row(&header);
+    for kind in kinds {
+        let mut row = vec![kind.name().to_string()];
+        for &w in &workers {
+            let cfg = DynConfig::with_threshold(Algo::default_threshold(w));
+            let t = measure(opts.measure.runs, || kind.run_fanout(cfg, w, n));
+            let mut r = Record::new("fanout-broadcast", kind.name());
+            r.input("proc", w).input("n", n);
+            r.output("exectime", format!("{:.6}", t.as_secs_f64())).output(
+                "throughput_per_core",
+                format!("{:.1}", throughput_per_core(fanout_broadcast_ops(n), t, w)),
+            );
+            rep.record(&r);
+            row.push(fmt_throughput(throughput_per_core(fanout_broadcast_ops(n), t, w)));
+        }
+        print_row(&row);
+    }
+
+    let (stages, width) = (32u64, (n / 64).max(16));
+    println!("\n## Outset (dag) — pipeline_stages {stages}×{width}, ops/s/core vs workers");
+    let mut header = vec!["outset \\ workers".to_string()];
+    header.extend(workers.iter().map(|w| w.to_string()));
+    print_row(&header);
+    for kind in kinds {
+        let mut row = vec![kind.name().to_string()];
+        for &w in &workers {
+            let cfg = DynConfig::with_threshold(Algo::default_threshold(w));
+            let t = measure(opts.measure.runs, || kind.run_pipeline(cfg, w, stages, width));
+            let ops = pipeline_stages_ops(stages, width);
+            let mut r = Record::new("pipeline-stages", kind.name());
+            r.input("proc", w).input("stages", stages).input("width", width);
+            r.output("exectime", format!("{:.6}", t.as_secs_f64()))
+                .output("throughput_per_core", format!("{:.1}", throughput_per_core(ops, t, w)));
+            rep.record(&r);
+            row.push(fmt_throughput(throughput_per_core(ops, t, w)));
         }
         print_row(&row);
     }

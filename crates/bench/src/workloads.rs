@@ -1,13 +1,16 @@
-//! The paper's benchmark programs (Figures 6 and 7) plus the raw-counter
-//! microbenchmark of the SNZI reproduction study (Appendix C.1).
+//! The paper's benchmark programs (Figures 6 and 7), the raw-counter
+//! microbenchmark of the SNZI reproduction study (Appendix C.1), and the
+//! out-set workloads extending the comparison to completion broadcast:
+//! [`fanout_broadcast`], [`pipeline_stages`] and [`raw_outset_bench`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use incounter::CounterFamily;
+use outset::{MutexOutset, OutsetFamily, TreeOutset};
 use snzi::FixedSnzi;
-use spdag::{run_dag, Ctx};
+use spdag::{run_dag, Ctx, FutureHandle};
 
 /// Calibrated busy work: roughly `units` nanoseconds of arithmetic on this
 /// machine (the paper: "each unit of dummy work takes approximately one
@@ -35,10 +38,7 @@ pub fn calibrate_dummy_unit_ns() -> f64 {
 
 fn fanin_rec<C: CounterFamily>(ctx: Ctx<'_, C>, n: u64, leaf_work: u64) {
     if n >= 2 {
-        ctx.spawn(
-            move |c| fanin_rec(c, n / 2, leaf_work),
-            move |c| fanin_rec(c, n / 2, leaf_work),
-        );
+        ctx.spawn(move |c| fanin_rec(c, n / 2, leaf_work), move |c| fanin_rec(c, n / 2, leaf_work));
     } else if leaf_work > 0 {
         dummy_work(leaf_work);
     }
@@ -50,12 +50,7 @@ fn fanin_rec<C: CounterFamily>(ctx: Ctx<'_, C>, n: u64, leaf_work: u64) {
 /// dummy work at each leaf (0 for the pure synchronisation benchmark).
 ///
 /// Returns the wall-clock time of the run.
-pub fn fanin<C: CounterFamily>(
-    cfg: C::Config,
-    workers: usize,
-    n: u64,
-    leaf_work: u64,
-) -> Duration {
+pub fn fanin<C: CounterFamily>(cfg: C::Config, workers: usize, n: u64, leaf_work: u64) -> Duration {
     run_dag::<C, _>(cfg, workers, move |ctx| fanin_rec(ctx, n, leaf_work)).elapsed
 }
 
@@ -94,6 +89,182 @@ pub fn indegree2_ops(n: u64) -> u64 {
         return 1;
     }
     4 * (n - 1)
+}
+
+/// The fanout-broadcast benchmark: one future, `n` dependents racing to
+/// register in its out-set (through `n` scope forks, so adders spread
+/// over the worker pool), one sweep scheduling them all. The out-set
+/// analogue of fanin — the maximal add-contention pattern — driven by
+/// the in-counter dag machinery so the counter and out-set algorithms
+/// compose exactly as in production use. Returns wall-clock time.
+pub fn fanout_broadcast<C: CounterFamily, O: OutsetFamily>(
+    cfg: C::Config,
+    workers: usize,
+    n: u64,
+) -> Duration {
+    run_dag::<C, _>(cfg, workers, move |mut ctx| {
+        let registered = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&registered);
+        // The future completes only after every dependent's add has
+        // really landed (each fork bumps the count *after* its touch
+        // returns), keeping the registration path — not the post-seal
+        // bounce — under maximal concurrency.
+        let f = ctx.future_in::<O, _, _>(move |_| {
+            while r.load(Ordering::Acquire) < n {
+                std::hint::spin_loop();
+            }
+            1u64
+        });
+        let mut scope = ctx.into_scope();
+        for _ in 0..n {
+            let f = f.clone();
+            let registered = Arc::clone(&registered);
+            scope.fork(move |c| {
+                c.touch(&f, |_, v| {
+                    std::hint::black_box(*v);
+                });
+                // Runs after touch registered the edge (touch consumes
+                // the Ctx but the body continues).
+                registered.fetch_add(1, Ordering::Release);
+            });
+        }
+    })
+    .elapsed
+}
+
+/// Out-set operations performed by `fanout_broadcast(n)`: `n` adds and
+/// one finish sweeping `≤ n` tokens — ≈ `2n`.
+pub fn fanout_broadcast_ops(n: u64) -> u64 {
+    2 * n
+}
+
+/// The pipeline benchmark: a `stages × width` wavefront where every cell
+/// joins two cells of the previous stage (`i` and `i+1 mod width`) —
+/// `2·stages·width` runtime-added edges. Exercises out-set add/finish
+/// under pipelined (producer racing consumer) rather than all-at-once
+/// contention. Returns wall-clock time.
+pub fn pipeline_stages<C: CounterFamily, O: OutsetFamily>(
+    cfg: C::Config,
+    workers: usize,
+    stages: u64,
+    width: u64,
+) -> Duration {
+    run_dag::<C, _>(cfg, workers, move |mut ctx| {
+        let mut row: Vec<FutureHandle<u64, O>> =
+            (0..width).map(|i| ctx.future_in::<O, _, _>(move |_| i)).collect();
+        for _ in 1..stages {
+            let mut next = Vec::with_capacity(row.len());
+            for i in 0..width as usize {
+                let j = (i + 1) % width as usize;
+                next.push(ctx.future_join_in::<_, _, _, O, O, O, _>(
+                    &row[i],
+                    &row[j],
+                    |_, a, b| a.wrapping_add(*b),
+                ));
+            }
+            row = next;
+        }
+        // Sink every last-stage cell so nothing is dead code.
+        let mut scope = ctx.into_scope();
+        for cell in row {
+            scope.fork(move |c| {
+                c.touch(&cell, |_, v| {
+                    std::hint::black_box(*v);
+                });
+            });
+        }
+    })
+    .elapsed
+}
+
+/// Out-set operations performed by `pipeline_stages`: two adds per
+/// interior cell plus one finish per cell — ≈ `3·stages·width`.
+pub fn pipeline_stages_ops(stages: u64, width: u64) -> u64 {
+    3 * stages * width
+}
+
+/// Which out-set implementation a raw/dag out-set benchmark exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RawOutset {
+    /// The lock-free tree of slot blocks.
+    Tree,
+    /// The `Mutex<Vec>` baseline.
+    Mutex,
+}
+
+impl RawOutset {
+    /// Display name matching the family constants.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RawOutset::Tree => TreeOutset::NAME,
+            RawOutset::Mutex => MutexOutset::NAME,
+        }
+    }
+
+    /// Run [`fanout_broadcast`] under this out-set with the in-counter.
+    pub fn run_fanout(&self, cfg: incounter::DynConfig, workers: usize, n: u64) -> Duration {
+        match self {
+            RawOutset::Tree => fanout_broadcast::<incounter::DynSnzi, TreeOutset>(cfg, workers, n),
+            RawOutset::Mutex => {
+                fanout_broadcast::<incounter::DynSnzi, MutexOutset>(cfg, workers, n)
+            }
+        }
+    }
+
+    /// Run [`pipeline_stages`] under this out-set with the in-counter.
+    pub fn run_pipeline(
+        &self,
+        cfg: incounter::DynConfig,
+        workers: usize,
+        stages: u64,
+        width: u64,
+    ) -> Duration {
+        match self {
+            RawOutset::Tree => {
+                pipeline_stages::<incounter::DynSnzi, TreeOutset>(cfg, workers, stages, width)
+            }
+            RawOutset::Mutex => {
+                pipeline_stages::<incounter::DynSnzi, MutexOutset>(cfg, workers, stages, width)
+            }
+        }
+    }
+}
+
+/// The raw out-set microbenchmark (no dag): `threads` threads each
+/// register `adds` edges in one shared out-set, then one finish sweeps
+/// it. Isolates the add path's contention exactly as the raw counter
+/// benchmark isolates arrive/depart. Total operations =
+/// `threads * adds + 1` (the sweep delivers in one call).
+pub fn raw_outset_bench(kind: RawOutset, threads: usize, adds: u64) -> Duration {
+    fn drive<O: OutsetFamily>(threads: usize, adds: u64) -> Duration {
+        let set = Arc::new(O::make());
+        let elapsed = {
+            let set = Arc::clone(&set);
+            run_threads(threads, move |tid, barrier| {
+                let set = Arc::clone(&set);
+                move || {
+                    barrier.wait();
+                    for i in 0..adds {
+                        let token = (tid as u64) * adds + i;
+                        match O::add(&set, token, tid as u64) {
+                            outset::AddEdge::Registered => {}
+                            outset::AddEdge::Finished(_) => unreachable!("unsealed"),
+                        }
+                    }
+                }
+            })
+        };
+        let mut delivered = 0u64;
+        let sweep_start = Instant::now();
+        assert!(O::finish(&set, &mut |_| delivered += 1));
+        let total = elapsed + sweep_start.elapsed();
+        assert_eq!(delivered, threads as u64 * adds);
+        total
+    }
+    match kind {
+        RawOutset::Tree => drive::<TreeOutset>(threads, adds),
+        RawOutset::Mutex => drive::<MutexOutset>(threads, adds),
+    }
 }
 
 /// Which raw counter the SNZI reproduction study (Figure 12) exercises.
@@ -158,9 +329,8 @@ where
     G: FnOnce() + Send + 'static,
 {
     let barrier = Arc::new(Barrier::new(threads + 1));
-    let handles: Vec<_> = (0..threads)
-        .map(|tid| std::thread::spawn(factory(tid, Arc::clone(&barrier))))
-        .collect();
+    let handles: Vec<_> =
+        (0..threads).map(|tid| std::thread::spawn(factory(tid, Arc::clone(&barrier)))).collect();
     // Release all threads at once, then time until they are done.
     barrier.wait();
     let t0 = Instant::now();
@@ -206,10 +376,44 @@ mod tests {
     fn fanin_with_leaf_work_takes_longer() {
         let fast = fanin::<FetchAdd>((), 1, 512, 0);
         let slow = fanin::<FetchAdd>((), 1, 512, 20_000);
-        assert!(
-            slow > fast,
-            "dummy work must cost time: {fast:?} !< {slow:?}"
-        );
+        assert!(slow > fast, "dummy work must cost time: {fast:?} !< {slow:?}");
+    }
+
+    #[test]
+    fn fanout_broadcast_runs_on_both_outsets() {
+        use outset::{MutexOutset, TreeOutset};
+        for workers in [1, 2, 4] {
+            fanout_broadcast::<DynSnzi, TreeOutset>(DynConfig::default(), workers, 200);
+            fanout_broadcast::<DynSnzi, MutexOutset>(DynConfig::default(), workers, 200);
+            fanout_broadcast::<FetchAdd, TreeOutset>((), workers, 200);
+        }
+        assert_eq!(fanout_broadcast_ops(100), 200);
+    }
+
+    #[test]
+    fn pipeline_stages_runs_on_both_outsets() {
+        use outset::{MutexOutset, TreeOutset};
+        for workers in [1, 3] {
+            pipeline_stages::<DynSnzi, TreeOutset>(DynConfig::default(), workers, 8, 16);
+            pipeline_stages::<DynSnzi, MutexOutset>(DynConfig::default(), workers, 8, 16);
+        }
+        assert_eq!(pipeline_stages_ops(8, 16), 384);
+    }
+
+    #[test]
+    fn raw_outset_both_kinds_run() {
+        for kind in [RawOutset::Tree, RawOutset::Mutex] {
+            let d = raw_outset_bench(kind, 2, 5_000);
+            assert!(d.as_nanos() > 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn raw_outset_selector_round_trips() {
+        assert_eq!(RawOutset::Tree.name(), "outset-tree");
+        assert_eq!(RawOutset::Mutex.name(), "outset-mutex");
+        RawOutset::Tree.run_fanout(DynConfig::default(), 2, 100);
+        RawOutset::Mutex.run_pipeline(DynConfig::default(), 2, 4, 8);
     }
 
     #[test]
@@ -236,10 +440,7 @@ mod tests {
         };
         let t1 = best(2_000_000);
         let t8 = best(16_000_000);
-        assert!(
-            t8 > t1 * 3,
-            "8x work should take >3x time: {t1:?} vs {t8:?}"
-        );
+        assert!(t8 > t1 * 3, "8x work should take >3x time: {t1:?} vs {t8:?}");
     }
 
     #[test]

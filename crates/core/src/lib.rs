@@ -17,8 +17,13 @@
 //! * [`incounter`] — the in-counter dependency counter (Figure 5) and the
 //!   [`CounterFamily`] abstraction over it, fetch-and-add, and fixed-depth
 //!   SNZI;
+//! * [`outset`] — the dual structure for dags whose edges are added at
+//!   run time: concurrent out-sets broadcasting vertex completion to an
+//!   unbounded set of dependents with O(1) amortized contention per
+//!   registered edge;
 //! * [`spdag`] — series-parallel dags with readiness detection
-//!   (Figure 3), executed on
+//!   (Figure 3), extended with future vertices and runtime-added
+//!   dependency edges ([`Ctx::future`] / [`Ctx::touch`]), executed on
 //! * [`sched`] — a from-scratch work-stealing scheduler (Chase–Lev
 //!   deques).
 //!
@@ -56,13 +61,15 @@
 #![warn(missing_docs)]
 
 pub use incounter;
+pub use outset;
 pub use sched;
 pub use snzi;
 pub use spdag;
 
 pub use incounter::{CounterFamily, DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
+pub use outset::{AddEdge, MutexOutset, OutsetFamily, TreeOutset};
 pub use snzi::Probability;
-pub use spdag::{run_dag, Ctx, DagRunStats, Scope};
+pub use spdag::{run_dag, Ctx, DagRunStats, FutureHandle, Scope};
 
 pub mod par;
 
@@ -73,7 +80,8 @@ pub mod prelude {
     pub use crate::par::{parallel_for, parallel_for_then, parallel_reduce};
     pub use crate::{CounterFamily, Ctx, DynConfig, DynSnzi, OutCell, Probability, Runtime, Scope};
     pub use incounter::{FetchAdd, FixedConfig, FixedDepth};
-    pub use spdag::run_dag;
+    pub use outset::{MutexOutset, OutsetFamily, TreeOutset};
+    pub use spdag::{run_dag, FutureHandle};
 }
 
 use std::sync::Arc;
@@ -219,11 +227,9 @@ mod tests {
 
         let y = Arc::new(AtomicU64::new(0));
         let z = Arc::clone(&y);
-        Runtime::<FixedDepth>::with_family(FixedConfig { depth: 2 })
-            .workers(2)
-            .run(move |_| {
-                z.store(9, Ordering::Relaxed);
-            });
+        Runtime::<FixedDepth>::with_family(FixedConfig { depth: 2 }).workers(2).run(move |_| {
+            z.store(9, Ordering::Relaxed);
+        });
         assert_eq!(y.load(Ordering::Relaxed), 9);
     }
 

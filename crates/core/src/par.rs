@@ -54,21 +54,13 @@ where
 
 /// As [`parallel_for`], with a continuation that runs strictly after every
 /// iteration (and anything the iterations spawned) has finished.
-pub fn parallel_for_then<C, F, K>(
-    ctx: Ctx<'_, C>,
-    range: Range<u64>,
-    grain: u64,
-    body: F,
-    then: K,
-) where
+pub fn parallel_for_then<C, F, K>(ctx: Ctx<'_, C>, range: Range<u64>, grain: u64, body: F, then: K)
+where
     C: CounterFamily,
     F: Fn(u64) + Send + Sync + 'static,
     K: for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
 {
-    ctx.chain(
-        move |c| parallel_for(c, range, grain, body),
-        then,
-    );
+    ctx.chain(move |c| parallel_for(c, range, grain, body), then);
 }
 
 /// Parallel map-reduce over an index range.
@@ -245,27 +237,25 @@ mod tests {
     fn reduce_min_max_nontrivial_combine() {
         let out = OutCell::new();
         let o = out.clone();
-        Runtime::<DynSnzi>::with_family(DynConfig::always_grow()).workers(2).run(
-            move |ctx| {
-                parallel_reduce(
-                    ctx,
-                    0..1000u64,
-                    10,
-                    |r| {
-                        let mut mn = u64::MAX;
-                        let mut mx = 0;
-                        for i in r {
-                            let v = (i * 2654435761) % 1009;
-                            mn = mn.min(v);
-                            mx = mx.max(v);
-                        }
-                        (mn, mx)
-                    },
-                    |a, b| (a.0.min(b.0), a.1.max(b.1)),
-                    move |_, v| o.set(v),
-                );
-            },
-        );
+        Runtime::<DynSnzi>::with_family(DynConfig::always_grow()).workers(2).run(move |ctx| {
+            parallel_reduce(
+                ctx,
+                0..1000u64,
+                10,
+                |r| {
+                    let mut mn = u64::MAX;
+                    let mut mx = 0;
+                    for i in r {
+                        let v = (i * 2654435761) % 1009;
+                        mn = mn.min(v);
+                        mx = mx.max(v);
+                    }
+                    (mn, mx)
+                },
+                |a, b| (a.0.min(b.0), a.1.max(b.1)),
+                move |_, v| o.set(v),
+            );
+        });
         let (mn, mx) = out.take().unwrap();
         let vals: Vec<u64> = (0..1000u64).map(|i| (i * 2654435761) % 1009).collect();
         assert_eq!(mn, *vals.iter().min().unwrap());

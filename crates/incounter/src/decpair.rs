@@ -49,11 +49,7 @@ impl<D: Copy> DecPair<D> {
     /// each sibling); a third claim panics in debug builds.
     #[inline]
     pub fn claim(&self) -> D {
-        if self
-            .claimed
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
+        if self.claimed.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok() {
             self.first
         } else {
             #[cfg(debug_assertions)]

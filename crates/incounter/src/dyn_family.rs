@@ -72,21 +72,14 @@ impl DynConfig {
     }
 
     fn base() -> DynConfig {
-        DynConfig {
-            p: Probability::ALWAYS,
-            pregrow_levels: 0,
-            ablate_claim_order: false,
-        }
+        DynConfig { p: Probability::ALWAYS, pregrow_levels: 0, ablate_claim_order: false }
     }
 }
 
 impl Default for DynConfig {
     /// Default to the paper's recommended `1/(25·cores)`.
     fn default() -> DynConfig {
-        DynConfig {
-            p: Probability::default_for_cores(sched_cores()),
-            ..DynConfig::base()
-        }
+        DynConfig { p: Probability::default_for_cores(sched_cores()), ..DynConfig::base() }
     }
 }
 

@@ -63,7 +63,7 @@ pub mod fixed_family;
 pub use decpair::DecPair;
 pub use dyn_family::{DynConfig, DynSnzi};
 pub use fetch_add::FetchAdd;
-pub use fixed_family::{FixedConfig, FixedDepth, FixedDec};
+pub use fixed_family::{FixedConfig, FixedDec, FixedDepth};
 
 /// A family of dependency-counter implementations usable by the sp-dag.
 ///
@@ -191,8 +191,7 @@ mod family_tests {
         u: &SimVertex<C>,
         vid: u64,
     ) -> (SimVertex<C>, SimVertex<C>) {
-        let (d2, i1, i2) =
-            unsafe { C::increment(cfg, &u.counter, u.inc, u.is_left, vid) };
+        let (d2, i1, i2) = unsafe { C::increment(cfg, &u.counter, u.inc, u.is_left, vid) };
         let d1 = u.pair.claim();
         let pair = Arc::new(DecPair::new(d1, d2));
         let v = SimVertex {

@@ -6,9 +6,7 @@
 
 use std::sync::Arc;
 
-use incounter::{
-    CounterFamily, DecPair, DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth,
-};
+use incounter::{CounterFamily, DecPair, DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
 use proptest::prelude::*;
 
 struct SimV<C: CounterFamily> {
@@ -54,10 +52,7 @@ fn drive<C: CounterFamily>(cfg: C::Config, choices: &[(bool, u16)]) {
     let mut frontier: Vec<SimV<C>> = vec![root::<C>(&counter)];
     let mut vid = 0u64;
     for &(do_spawn, pick) in choices {
-        assert!(
-            !C::is_zero(&counter),
-            "counter must be non-zero while strands are outstanding"
-        );
+        assert!(!C::is_zero(&counter), "counter must be non-zero while strands are outstanding");
         let idx = pick as usize % frontier.len();
         if do_spawn {
             vid += 1;

@@ -1,0 +1,159 @@
+//! Property-based testing of the out-set contract over random operation
+//! interleavings, checked against a trivial reference model.
+//!
+//! Two layers:
+//!
+//! * a sequential driver applying a random schedule of `Add`/`Finish`/
+//!   `LateAdd` steps against a model set (covers the one-shot seal logic
+//!   and slot-state machine through every block boundary), and
+//! * a randomized concurrent driver where the finish point and per-thread
+//!   add counts come from the strategy, re-checking exactly-once delivery
+//!   under real races (complementing the fixed timings in `model.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use outset::{AddEdge, MutexOutset, OutsetFamily, TreeOutset};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Add with this lane key.
+    Add(u16),
+    /// Seal the set (later occurrences become double-finish checks).
+    Finish,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<u16>()).prop_map(Step::Add),
+        Just(Step::Finish),
+        // Weight adds higher by listing the arm again (uniform arms).
+        (any::<u16>()).prop_map(Step::Add),
+        (any::<u16>()).prop_map(Step::Add),
+    ]
+}
+
+fn drive_sequential<F: OutsetFamily>(steps: &[Step]) {
+    let set = F::make();
+    let mut next_token = 0u64;
+    let mut registered: Vec<u64> = Vec::new();
+    let mut inline: Vec<u64> = Vec::new();
+    let mut swept: Vec<u64> = Vec::new();
+    let mut sealed = false;
+    for &step in steps {
+        match step {
+            Step::Add(key) => {
+                let token = next_token;
+                next_token += 1;
+                match F::add(&set, token, key as u64) {
+                    AddEdge::Registered => {
+                        assert!(!sealed, "{}: add registered after seal", F::NAME);
+                        registered.push(token);
+                    }
+                    AddEdge::Finished(t) => {
+                        assert!(sealed, "{}: add bounced before seal", F::NAME);
+                        assert_eq!(t, token, "bounced token is the caller's own");
+                        inline.push(t);
+                    }
+                }
+            }
+            Step::Finish => {
+                let first = F::finish(&set, &mut |t| swept.push(t));
+                assert_eq!(first, !sealed, "exactly the first finish seals");
+                sealed = true;
+            }
+        }
+        assert_eq!(F::is_finished(&set), sealed);
+    }
+    if !sealed {
+        assert!(F::finish(&set, &mut |t| swept.push(t)));
+    }
+    swept.sort_unstable();
+    registered.sort_unstable();
+    assert_eq!(swept, registered, "{}: sweep = registered set, exactly once", F::NAME);
+    let mut all = swept;
+    all.extend(&inline);
+    all.sort_unstable();
+    assert_eq!(all, (0..next_token).collect::<Vec<_>>(), "{}: no token lost", F::NAME);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sequential_schedules_tree(steps in proptest::collection::vec(step_strategy(), 0..400)) {
+        drive_sequential::<TreeOutset>(&steps);
+    }
+
+    #[test]
+    fn sequential_schedules_mutex(steps in proptest::collection::vec(step_strategy(), 0..200)) {
+        drive_sequential::<MutexOutset>(&steps);
+    }
+}
+
+/// Concurrent exactly-once with strategy-chosen shape: thread count, adds
+/// per thread, and how many total adds the finisher waits for before
+/// sealing mid-race.
+fn drive_concurrent<F: OutsetFamily>(threads: usize, adds: u64, finish_after: u64) {
+    let set = Arc::new(F::make());
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let done_adds = Arc::new(AtomicU64::new(0));
+    let inline = Arc::new(Mutex::new(Vec::new()));
+    let swept = std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let set = Arc::clone(&set);
+            let barrier = Arc::clone(&barrier);
+            let done_adds = Arc::clone(&done_adds);
+            let inline = Arc::clone(&inline);
+            scope.spawn(move || {
+                barrier.wait();
+                let mut mine = Vec::new();
+                for i in 0..adds {
+                    let token = tid as u64 * adds + i;
+                    if let AddEdge::Finished(t) = F::add(&set, token, tid as u64) {
+                        mine.push(t);
+                    }
+                    done_adds.fetch_add(1, Ordering::Relaxed);
+                }
+                inline.lock().unwrap().extend(mine);
+            });
+        }
+        barrier.wait();
+        while done_adds.load(Ordering::Relaxed) < finish_after {
+            std::hint::spin_loop();
+        }
+        let mut swept = Vec::new();
+        assert!(F::finish(&set, &mut |t| swept.push(t)));
+        swept
+    });
+    let inline = Arc::try_unwrap(inline).unwrap().into_inner().unwrap();
+    let mut all = swept;
+    all.extend(&inline);
+    all.sort_unstable();
+    assert_eq!(all, (0..threads as u64 * adds).collect::<Vec<_>>());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn concurrent_races_tree(
+        threads in 1usize..5,
+        adds in 1u64..800,
+        frac in 0u64..100,
+    ) {
+        let total = threads as u64 * adds;
+        drive_concurrent::<TreeOutset>(threads, adds, total * frac / 100);
+    }
+
+    #[test]
+    fn concurrent_races_mutex(
+        threads in 1usize..4,
+        adds in 1u64..400,
+        frac in 0u64..100,
+    ) {
+        let total = threads as u64 * adds;
+        drive_concurrent::<MutexOutset>(threads, adds, total * frac / 100);
+    }
+}

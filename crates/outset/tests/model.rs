@@ -1,0 +1,158 @@
+//! Exactly-once delivery model tests for both out-set families.
+//!
+//! The contract under test (the crate's whole point): for every token
+//! whose `add` returned `Registered`, the finish sweep delivers it exactly
+//! once; for every `add` that returned `Finished(t)`, the caller-side
+//! inline delivery is the only delivery of `t`. Union over both sides =
+//! every token, each exactly once — under arbitrary add/finish races.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use outset::{AddEdge, MutexOutset, OutsetFamily, TreeOutset};
+
+/// Spawn `threads` adders racing one finisher; return (swept, inline).
+fn race<F: OutsetFamily>(
+    threads: usize,
+    adds_per_thread: u64,
+    finisher_delay_adds: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let set = Arc::new(F::make());
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let inline = Arc::new(Mutex::new(Vec::new()));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let set = Arc::clone(&set);
+            let barrier = Arc::clone(&barrier);
+            let inline = Arc::clone(&inline);
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                let mut mine = Vec::new();
+                // Adds landing after the concurrent finish seals take the
+                // post-seal fast path and come back as Finished.
+                for i in 0..adds_per_thread {
+                    let token = (tid as u64) * adds_per_thread + i;
+                    match F::add(&set, token, tid as u64) {
+                        AddEdge::Registered => {}
+                        AddEdge::Finished(t) => mine.push(t),
+                    }
+                }
+                inline.lock().unwrap().extend(mine);
+            }));
+        }
+        barrier.wait();
+        // Let roughly `finisher_delay_adds` adds land first, then finish
+        // concurrently with the rest.
+        for _ in 0..finisher_delay_adds {
+            std::hint::spin_loop();
+        }
+        let mut swept = Vec::new();
+        assert!(F::finish(&set, &mut |t| swept.push(t)), "first finish must seal");
+        for h in handles {
+            h.join().unwrap();
+        }
+        let inline = Arc::try_unwrap(inline).unwrap().into_inner().unwrap();
+        (swept, inline)
+    })
+}
+
+fn check_exactly_once<F: OutsetFamily>(threads: usize, adds: u64, delay: u64) {
+    let (swept, inline) = race::<F>(threads, adds, delay);
+    let mut all = swept;
+    all.extend(&inline);
+    all.sort_unstable();
+    let expect: Vec<u64> = (0..threads as u64 * adds).collect();
+    assert_eq!(
+        all,
+        expect,
+        "{}: union of swept+inline must be every token exactly once \
+         (threads={threads}, adds={adds}, delay={delay})",
+        F::NAME
+    );
+}
+
+#[test]
+fn tree_exactly_once_across_race_timings() {
+    for &(threads, adds, delay) in &[
+        (1usize, 500u64, 0u64),
+        (2, 2000, 0),
+        (4, 2000, 1000),
+        (4, 500, 100_000),
+        (8, 1000, 10_000),
+    ] {
+        for _ in 0..8 {
+            check_exactly_once::<TreeOutset>(threads, adds, delay);
+        }
+    }
+}
+
+#[test]
+fn mutex_exactly_once_across_race_timings() {
+    for &(threads, adds, delay) in &[(2usize, 2000u64, 0u64), (4, 1000, 10_000)] {
+        for _ in 0..8 {
+            check_exactly_once::<MutexOutset>(threads, adds, delay);
+        }
+    }
+}
+
+#[test]
+fn concurrent_double_finish_single_seal() {
+    // Many racing finishers: exactly one seals, and the union of their
+    // sweeps plus inline deliveries is still exactly-once.
+    for _ in 0..20 {
+        let set = Arc::new(<TreeOutset as OutsetFamily>::make());
+        for t in 0..256u64 {
+            match TreeOutset::add(&set, t, t) {
+                AddEdge::Registered => {}
+                AddEdge::Finished(_) => unreachable!("unsealed"),
+            }
+        }
+        let barrier = Arc::new(Barrier::new(4));
+        let results: Vec<_> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let set = Arc::clone(&set);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let mut swept = Vec::new();
+                        let sealed = TreeOutset::finish(&set, &mut |t| swept.push(t));
+                        (sealed, swept)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(
+            results.iter().filter(|(sealed, _)| *sealed).count(),
+            1,
+            "exactly one finisher seals"
+        );
+        let mut all: Vec<u64> = results.into_iter().flat_map(|(_, v)| v).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..256u64).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn adds_strictly_after_finish_always_bounce() {
+    let set = <TreeOutset as OutsetFamily>::make();
+    let mut swept = Vec::new();
+    assert!(TreeOutset::finish(&set, &mut |t| swept.push(t)));
+    std::thread::scope(|scope| {
+        for tid in 0..4u64 {
+            let set = &set;
+            scope.spawn(move || {
+                for i in 0..100 {
+                    assert!(matches!(
+                        TreeOutset::add(set, tid * 100 + i, tid),
+                        AddEdge::Finished(_)
+                    ));
+                }
+            });
+        }
+    });
+    assert!(swept.is_empty());
+}

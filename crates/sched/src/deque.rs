@@ -220,11 +220,8 @@ impl<T: Word> WorkerDeque<T> {
         let w = unsafe { (*buf).read(b) };
         if t == b {
             // Last element: race thieves for it.
-            let won = inner
-                .top
-                .0
-                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-                .is_ok();
+            let won =
+                inner.top.0.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok();
             inner.bottom.0.store(b + 1, Ordering::Relaxed);
             if !won {
                 return None;
@@ -298,12 +295,7 @@ impl<T: Word> Stealer<T> {
         // SAFETY: buffer pointers stay valid until Inner::drop (retired
         // buffers included), and slot reads are atomic.
         let w = unsafe { (*buf).read(t) };
-        if inner
-            .top
-            .0
-            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-            .is_ok()
-        {
+        if inner.top.0.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok() {
             // SAFETY: unique consumption guaranteed by winning the CAS.
             StealResult::Success(unsafe { T::from_word(w) })
         } else {

@@ -26,7 +26,7 @@ pub mod deque;
 pub mod pool;
 pub mod rng;
 
-pub use deque::{Stealer, StealResult, WorkerDeque, Word};
+pub use deque::{StealResult, Stealer, Word, WorkerDeque};
 pub use pool::{run, PoolStats, Termination, WorkerCtx};
 
 /// Number of hardware threads available, with a fallback of 1.

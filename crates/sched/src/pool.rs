@@ -31,7 +31,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::deque::{deque_with_capacity, StealResult, Stealer, WorkerDeque, Word};
+use crate::deque::{deque_with_capacity, StealResult, Stealer, Word, WorkerDeque};
 use crate::rng::VictimRng;
 
 /// How [`run`] decides that the computation has finished.
@@ -144,6 +144,27 @@ impl<'a, T: Word> WorkerCtx<'a, T> {
         self.shared.sleep.notify();
     }
 
+    /// Make a batch of tasks available with a single sleeper notification
+    /// at the end — the broadcast path used when an out-set sweep
+    /// unblocks many dependents at once. Counting for Quiesce mode is
+    /// per-task (the count must precede each task's visibility to
+    /// thieves), so the saving over repeated [`push`](WorkerCtx::push) is
+    /// the `n − 1` redundant wakeup probes.
+    pub fn push_batch(&self, tasks: impl IntoIterator<Item = T>) {
+        let quiesce = self.shared.termination == Termination::Quiesce;
+        let mut any = false;
+        for task in tasks {
+            if quiesce {
+                self.shared.pending.fetch_add(1, Ordering::Relaxed);
+            }
+            self.deque.push(task);
+            any = true;
+        }
+        if any {
+            self.shared.sleep.notify();
+        }
+    }
+
     /// Announce that the whole computation is complete (DoneFlag mode).
     /// Idempotent; in Quiesce mode it simply forces early termination.
     pub fn finish(&self) {
@@ -159,11 +180,8 @@ impl<'a, T: Word> WorkerCtx<'a, T> {
 
 const STEAL_ATTEMPTS_PER_ROUND: usize = 4;
 
-fn worker_loop<T, F>(
-    ctx: &WorkerCtx<'_, T>,
-    f: &F,
-    rng: &mut VictimRng,
-) where
+fn worker_loop<T, F>(ctx: &WorkerCtx<'_, T>, f: &F, rng: &mut VictimRng)
+where
     T: Word,
     F: Fn(&WorkerCtx<'_, T>, T) + Sync,
 {
@@ -244,10 +262,7 @@ where
     if roots.is_empty() && termination == Termination::Quiesce {
         return PoolStats { tasks_per_worker: vec![0; n], ..PoolStats::default() };
     }
-    debug_assert!(
-        !roots.is_empty(),
-        "DoneFlag termination with no roots would never finish"
-    );
+    debug_assert!(!roots.is_empty(), "DoneFlag termination with no roots would never finish");
     let mut deques = Vec::with_capacity(n);
     let mut stealers = Vec::with_capacity(n);
     for _ in 0..n {
@@ -309,14 +324,9 @@ mod tests {
     #[test]
     fn quiesce_executes_everything() {
         let executed = AtomicU64::new(0);
-        let stats = run(
-            3,
-            (0..100usize).collect(),
-            Termination::Quiesce,
-            |_ctx, _task: usize| {
-                executed.fetch_add(1, Ordering::Relaxed);
-            },
-        );
+        let stats = run(3, (0..100usize).collect(), Termination::Quiesce, |_ctx, _task: usize| {
+            executed.fetch_add(1, Ordering::Relaxed);
+        });
         assert_eq!(executed.load(Ordering::Relaxed), 100);
         assert_eq!(stats.tasks, 100);
         assert_eq!(stats.tasks_per_worker.len(), 3);
@@ -371,16 +381,34 @@ mod tests {
     }
 
     #[test]
+    fn push_batch_executes_everything() {
+        let executed = AtomicU64::new(0);
+        run(3, vec![0usize], Termination::Quiesce, |ctx, task| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if task == 0 {
+                // One broadcast of 100 dependents, as an out-set sweep does.
+                ctx.push_batch(1..=100usize);
+            }
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 101);
+    }
+
+    #[test]
+    fn empty_push_batch_is_noop() {
+        let executed = AtomicU64::new(0);
+        run(2, vec![0usize], Termination::Quiesce, |ctx, _| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            ctx.push_batch(std::iter::empty());
+        });
+        assert_eq!(executed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
     fn boxed_tasks_work() {
         let sum = AtomicU64::new(0);
-        run(
-            2,
-            (1..=100u64).map(Box::new).collect(),
-            Termination::Quiesce,
-            |_, task: Box<u64>| {
-                sum.fetch_add(*task, Ordering::Relaxed);
-            },
-        );
+        run(2, (1..=100u64).map(Box::new).collect(), Termination::Quiesce, |_, task: Box<u64>| {
+            sum.fetch_add(*task, Ordering::Relaxed);
+        });
         assert_eq!(sum.load(Ordering::Relaxed), 5050);
     }
 

@@ -15,11 +15,7 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u64>().prop_map(Op::Push),
-        Just(Op::Pop),
-        Just(Op::Steal),
-    ]
+    prop_oneof![any::<u64>().prop_map(Op::Push), Just(Op::Pop), Just(Op::Steal),]
 }
 
 proptest! {
@@ -103,7 +99,7 @@ proptest! {
                 state ^= state << 13;
                 state ^= state >> 7;
                 state ^= state << 17;
-                if state % 3 == 0 {
+                if state.is_multiple_of(3) {
                     if let Some(v) = w.pop() {
                         owner_got.push(v);
                     }

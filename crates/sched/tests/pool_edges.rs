@@ -21,11 +21,7 @@ fn done_flag_drains_own_deques_before_exit() {
             ctx.finish();
         }
     });
-    assert_eq!(
-        executed.load(Ordering::Relaxed),
-        11,
-        "queued tasks drain even after finish()"
-    );
+    assert_eq!(executed.load(Ordering::Relaxed), 11, "queued tasks drain even after finish()");
 }
 
 #[test]

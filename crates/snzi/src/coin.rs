@@ -197,10 +197,7 @@ mod tests {
         let heads = (0..n).filter(|_| rng.flip(p)).count();
         let expected = n as f64 / 8.0;
         let tolerance = expected * 0.1;
-        assert!(
-            (heads as f64 - expected).abs() < tolerance,
-            "heads={heads}, expected≈{expected}"
-        );
+        assert!((heads as f64 - expected).abs() < tolerance, "heads={heads}, expected≈{expected}");
     }
 
     #[test]

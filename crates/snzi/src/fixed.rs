@@ -17,9 +17,9 @@ use std::sync::atomic::Ordering;
 use crate::node::{node_arrive, node_depart, Node, ParentRef};
 use crate::packed::MAX_ROOT_SURPLUS;
 use crate::root::Root;
-use crate::stats::TreeStats;
 #[cfg(feature = "stats")]
 use crate::stats::StatsSnapshot;
+use crate::stats::TreeStats;
 use crate::tree::{Handle, NodeRefInner};
 
 /// Largest supported depth (2^21 − 1 nodes ≈ 2M; the paper sweeps 1..=9).
@@ -54,7 +54,8 @@ impl FixedSnzi {
         // Fix up parents of levels ≥ 2 to point at their heap parent.
         let base = nodes.as_mut_ptr();
         for k in 3..=total_inner {
-            let pk = (k - 1) / 2; // heap parent, ≥ 1 here
+            // Heap parent, ≥ 1 here.
+            let pk = (k - 1) / 2;
             // SAFETY: both offsets are in-bounds of the same allocation and
             // the vector is never reallocated afterwards.
             unsafe {

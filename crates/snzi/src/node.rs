@@ -141,10 +141,7 @@ impl Node {
 
     #[inline(always)]
     fn cas(&self, old: u64, new: u64) -> bool {
-        let ok = self
-            .state
-            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok();
+        let ok = self.state.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire).is_ok();
         if ok {
             self.touch();
         }
@@ -199,10 +196,7 @@ pub(crate) unsafe fn node_arrive(node: &Node) -> OpPath {
         let x = node.state.load(Ordering::Acquire);
         let (c, v) = unpack_node(x);
         if c >= ONE {
-            assert!(
-                c / 2 < MAX_NODE_SURPLUS,
-                "SNZI node surplus overflow (>{MAX_NODE_SURPLUS})"
-            );
+            assert!(c / 2 < MAX_NODE_SURPLUS, "SNZI node surplus overflow (>{MAX_NODE_SURPLUS})");
             if node.cas(x, pack_node(c + ONE, v)) {
                 succ = true;
             }

@@ -77,12 +77,9 @@ mod tests {
 
     #[test]
     fn root_roundtrip_basics() {
-        for &(c, a, v) in &[
-            (0, false, 0),
-            (1, true, 1),
-            (MAX_ROOT_SURPLUS, false, u32::MAX),
-            (42, true, 99),
-        ] {
+        for &(c, a, v) in
+            &[(0, false, 0), (1, true, 1), (MAX_ROOT_SURPLUS, false, u32::MAX), (42, true, 99)]
+        {
             assert_eq!(unpack_root(pack_root(c, a, v)), (c, a, v));
         }
     }

@@ -82,10 +82,7 @@ impl Root {
 
     #[inline(always)]
     fn cas_x(&self, old: u64, new: u64) -> bool {
-        let ok = self
-            .x
-            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok();
+        let ok = self.x.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire).is_ok();
         if ok {
             self.touch();
         }
@@ -148,8 +145,7 @@ impl Root {
             let w = self.x.load(Ordering::Acquire);
             let (c, a, v) = unpack_root(w);
             assert!(c < MAX_ROOT_SURPLUS, "SNZI root surplus overflow");
-            let (nc, na, nv) =
-                if c == 0 { (1, true, v.wrapping_add(1)) } else { (c + 1, a, v) };
+            let (nc, na, nv) = if c == 0 { (1, true, v.wrapping_add(1)) } else { (c + 1, a, v) };
             if self.cas_x(w, pack_root(nc, na, nv)) {
                 if na {
                     self.publish_indicator(nv);
@@ -175,10 +171,7 @@ impl Root {
                 self.clear_announce(v);
                 continue;
             }
-            assert!(
-                c >= 1,
-                "SNZI depart on the root with surplus 0: execution is not valid"
-            );
+            assert!(c >= 1, "SNZI depart on the root with surplus 0: execution is not valid");
             if self.cas_x(w, pack_root(c - 1, false, v)) {
                 if c == 1 {
                     // We ended period `v` unless a newer period already

@@ -166,10 +166,12 @@ mod tests {
         let r = t.root_handle();
         let (l, rhandle) = unsafe { t.grow_always(r) };
         let stop = Arc::new(AtomicBool::new(false));
+        let total_rounds = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let workers: Vec<_> = (0..3)
             .map(|_| {
                 let t = Arc::clone(&t);
                 let stop = Arc::clone(&stop);
+                let total_rounds = Arc::clone(&total_rounds);
                 std::thread::spawn(move || {
                     let mut rounds = 0u64;
                     while !stop.load(Ordering::Acquire) {
@@ -179,11 +181,19 @@ mod tests {
                             let _ = t.depart(rhandle);
                         }
                         rounds += 1;
+                        total_rounds.fetch_add(1, Ordering::Release);
                     }
                     rounds
                 })
             })
             .collect();
+        // An oversubscribed machine can run all 200 prune rounds below
+        // before the workers are ever scheduled; wait for the first
+        // right-subtree round *before* pruning starts so the rounds
+        // really overlap the prune traffic.
+        while total_rounds.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
         for _ in 0..200 {
             let (a, b) = unsafe { t.grow_always(l) };
             unsafe {

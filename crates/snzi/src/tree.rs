@@ -310,10 +310,7 @@ impl SnziTree {
         }
         // SAFETY: `c` points to a pair owned by this tree, alive until drop.
         let pair = unsafe { &*c };
-        (
-            Handle(NodeRefInner::Node(&pair.left)),
-            Handle(NodeRefInner::Node(&pair.right)),
-        )
+        (Handle(NodeRefInner::Node(&pair.left)), Handle(NodeRefInner::Node(&pair.right)))
     }
 
     /// Detach and free the entire subtree **below** `h` (excluding `h`
@@ -388,7 +385,10 @@ impl SnziTree {
     ///
     /// # Safety
     /// `h` must belong to this tree, which must be alive.
-    pub(crate) unsafe fn children_slot(&self, h: Handle) -> &std::sync::atomic::AtomicPtr<ChildPair> {
+    pub(crate) unsafe fn children_slot(
+        &self,
+        h: Handle,
+    ) -> &std::sync::atomic::AtomicPtr<ChildPair> {
         match h.0 {
             // SAFETY: caller contract.
             NodeRefInner::Root(r) => unsafe { &(*r).children },

@@ -36,10 +36,7 @@ fn query_window_invariant(tree: Arc<SnziTree>, handle_depth: u32, threads: usize
                 while !stop.load(Ordering::Acquire) {
                     unsafe {
                         tree.arrive(h);
-                        assert!(
-                            tree.query(),
-                            "indicator must be up between arrive and depart"
-                        );
+                        assert!(tree.query(), "indicator must be up between arrive and depart");
                         let _ = tree.depart(h);
                     }
                     rounds += 1;
@@ -130,7 +127,8 @@ fn exactly_one_period_end_per_drain() {
     let endings = Arc::new(AtomicU64::new(0));
     let barrier = Arc::new(std::sync::Barrier::new(2));
     let t1 = {
-        let (tree, endings, barrier) = (Arc::clone(&tree), Arc::clone(&endings), Arc::clone(&barrier));
+        let (tree, endings, barrier) =
+            (Arc::clone(&tree), Arc::clone(&endings), Arc::clone(&barrier));
         std::thread::spawn(move || {
             for _ in 0..rounds {
                 unsafe { tree.arrive(l) };
@@ -151,11 +149,7 @@ fn exactly_one_period_end_per_drain() {
         barrier.wait();
     }
     t1.join().unwrap();
-    assert_eq!(
-        endings.load(Ordering::Relaxed),
-        rounds,
-        "each round drains to zero exactly once"
-    );
+    assert_eq!(endings.load(Ordering::Relaxed), rounds, "each round drains to zero exactly once");
     assert!(!tree.query());
 }
 

@@ -113,15 +113,7 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         // w: the new finish vertex; takes over u's position in u's scope
         // (inherits fin, inc, dec pair and left/right position) and waits
         // on one dependency — the completion of `first`'s subtree.
-        let w = Vertex::boxed(
-            self.cfg,
-            1,
-            u.inc,
-            Arc::clone(&u.dec),
-            u.fin,
-            u.is_left,
-            Some(then),
-        );
+        let w = Vertex::boxed(self.cfg, 1, u.inc, Arc::clone(&u.dec), u.fin, u.is_left, Some(then));
         let w_ptr = Box::into_raw(w);
         // SAFETY: just created, uniquely owned until scheduled; shared
         // references derived here point at the boxed (stable) allocation.
@@ -361,10 +353,7 @@ mod tests {
             return;
         }
         let (h1, h2) = (Arc::clone(&hits), hits);
-        ctx.spawn(
-            move |c| spawn_tree(c, depth - 1, h1),
-            move |c| spawn_tree(c, depth - 1, h2),
-        );
+        ctx.spawn(move |c| spawn_tree(c, depth - 1, h1), move |c| spawn_tree(c, depth - 1, h2));
     }
 
     fn check_spawn_tree<C: CounterFamily>(cfg: C::Config, workers: usize, depth: u32) {
@@ -417,9 +406,7 @@ mod tests {
         for workers in [1, 3] {
             let hits = Arc::new(AtomicUsize::new(0));
             let h = Arc::clone(&hits);
-            run_dag::<DynSnzi, _>(DynConfig::always_grow(), workers, move |ctx| {
-                rec(ctx, 64, h)
-            });
+            run_dag::<DynSnzi, _>(DynConfig::always_grow(), workers, move |ctx| rec(ctx, 64, h));
             assert_eq!(hits.load(Ordering::Relaxed), 64);
         }
     }

@@ -1,0 +1,624 @@
+//! Futures: dag edges added at **run time**, beyond series-parallel shape.
+//!
+//! The sp-dag of [`crate::dag`] fixes every dependency at vertex-creation
+//! time, which is exactly the discipline whose in-edges the in-counter
+//! serves. The dag-calculus the paper targets is more general: an edge
+//! may be added *while both endpoints already exist*, racing the source
+//! vertex's completion. This module supplies that primitive, split across
+//! the two dual structures:
+//!
+//! * **readiness** of the edge's target stays with the existing
+//!   [`incounter::CounterFamily`] in-counters — a toucher waits on a
+//!   one-dependency counter exactly like a `chain` continuation;
+//! * **completion broadcast** from the edge's source is the job of the
+//!   new [`outset`] crate: each future vertex carries an out-set, touches
+//!   register dependent edges in it, and the future's completion vertex
+//!   seals it and sweeps every registered dependent to the scheduler in
+//!   one batch.
+//!
+//! ## Model
+//!
+//! [`Ctx::future`] forks a *future* into the enclosing finish scope: its
+//! body starts immediately (subject to scheduling), runs as a full
+//! nested-parallel computation of its own, and its closure's return value
+//! becomes the future's value. The call returns a cloneable
+//! [`FutureHandle`]; the enclosing finish scope waits for the future like
+//! for any fork, so a future can never dangle.
+//!
+//! [`Ctx::touch`] (or [`FutureHandle::touch`]) ends the current vertex —
+//! like [`Ctx::chain`] — with a continuation that runs strictly after
+//! **both** the toucher's position in its own scope allows it **and** the
+//! touched future has completed; the continuation receives `&T`. Touching
+//! an already-completed future degrades to a plain continuation push: the
+//! [`outset::AddEdge::Finished`] bounce delivers the dependent inline.
+//!
+//! Under the hood a `future` is one in-counter increment (the completion
+//! vertex joins the enclosing scope by the [`Scope::fork`](crate::Scope)
+//! rotation) plus one out-set allocation, and a `touch` is one out-set
+//! add — so the paper's O(1)-amortized bounds extend to the dynamic-edge
+//! operations, with the broadcast cost paid once per future, linear in
+//! the number of dependents swept.
+//!
+//! ## Caveat: deadlock is expressible
+//!
+//! Unlike pure series-parallel composition, runtime edges can express
+//! cycles (e.g. two futures exchanging handles through shared state, each
+//! touching the other). The runtime detects nothing: a cyclic program
+//! simply never finishes, as in the dag-calculus. Acyclicity is the
+//! programmer's obligation.
+//!
+//! ```
+//! use spdag::run_dag;
+//! use incounter::{DynConfig, DynSnzi};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let out = Arc::new(AtomicU64::new(0));
+//! let o = Arc::clone(&out);
+//! run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+//!     let f = ctx.future(|_| 6u64 * 7);
+//!     ctx.touch(&f, move |_, v| {
+//!         o.store(*v, Ordering::Relaxed);
+//!     });
+//! });
+//! assert_eq!(out.load(Ordering::Relaxed), 42);
+//! ```
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use incounter::{CounterFamily, DecPair};
+use outset::{AddEdge, OutsetFamily, TreeOutset};
+
+use crate::dag::Ctx;
+use crate::vertex::{Body, Vertex, VertexPtr};
+
+/// Shared state of one future: its completion out-set and value cell.
+struct FutureCore<T, O: OutsetFamily> {
+    outset: O::Outset,
+    /// Written once by the future's body vertex, read only by code that
+    /// runs strictly after completion (see `value_ref`).
+    value: UnsafeCell<Option<T>>,
+    /// Set by the completion vertex just before the out-set seal; the
+    /// publication edge for [`FutureHandle::try_get`].
+    completed: AtomicBool,
+}
+
+// SAFETY: `value` is written exactly once (by the body vertex) and read
+// only after `completed` is observed true or the reader was scheduled by
+// the completion sweep, both of which happen-after the write through the
+// scheduler's synchronization — so `&T` may be shared across threads
+// (T: Sync) after a cross-thread move (T: Send). The out-set is Sync by
+// its trait bounds.
+unsafe impl<T: Send + Sync, O: OutsetFamily> Send for FutureCore<T, O> {}
+unsafe impl<T: Send + Sync, O: OutsetFamily> Sync for FutureCore<T, O> {}
+
+impl<T, O: OutsetFamily> FutureCore<T, O> {
+    /// # Safety
+    /// Callable only from code ordered strictly after the future's
+    /// completion (a swept/bounced dependent, or after observing
+    /// `completed == true`).
+    unsafe fn value_ref(&self) -> &T {
+        debug_assert!(self.completed.load(Ordering::SeqCst));
+        // SAFETY: the write happened-before per the caller contract, and
+        // no write can happen again (the body runs once).
+        unsafe { (*self.value.get()).as_ref().expect("future value published at completion") }
+    }
+}
+
+/// A cloneable reference to a future created by [`Ctx::future`].
+///
+/// Handles may travel to any vertex of the same dag run; any of them may
+/// [`touch`](Ctx::touch) the future any number of times (each touch is
+/// one dependent). Dropping handles never blocks the future.
+pub struct FutureHandle<T, O: OutsetFamily = TreeOutset> {
+    core: Arc<FutureCore<T, O>>,
+}
+
+impl<T, O: OutsetFamily> Clone for FutureHandle<T, O> {
+    fn clone(&self) -> Self {
+        FutureHandle { core: Arc::clone(&self.core) }
+    }
+}
+
+impl<T: Send + Sync + 'static, O: OutsetFamily> FutureHandle<T, O> {
+    /// Whether the future has completed (racy snapshot; `true` is stable).
+    pub fn is_done(&self) -> bool {
+        self.core.completed.load(Ordering::SeqCst)
+    }
+
+    /// The value, if the future has already completed.
+    pub fn try_get(&self) -> Option<&T> {
+        if self.is_done() {
+            // SAFETY: observing `completed` orders this read after the
+            // value write (see FutureCore safety comment).
+            Some(unsafe { self.core.value_ref() })
+        } else {
+            None
+        }
+    }
+
+    /// Method-style alias for [`Ctx::touch`].
+    pub fn touch<C, K>(&self, ctx: Ctx<'_, C>, then: K)
+    where
+        C: CounterFamily,
+        K: for<'b> FnOnce(Ctx<'b, C>, &T) + Send + 'static,
+    {
+        ctx.touch(self, then);
+    }
+}
+
+impl<'a, C: CounterFamily> Ctx<'a, C> {
+    /// Create a future with the default ([`TreeOutset`]) broadcast
+    /// structure. See the module docs for the model.
+    ///
+    /// Does **not** end the current vertex: like
+    /// [`Scope::fork`](crate::Scope::fork), the body keeps running as the
+    /// continuation, and may create more futures or finish with
+    /// spawn/chain/touch.
+    pub fn future<T, F>(&mut self, body: F) -> FutureHandle<T, TreeOutset>
+    where
+        T: Send + Sync + 'static,
+        F: for<'b> FnOnce(Ctx<'b, C>) -> T + Send + 'static,
+    {
+        self.future_in::<TreeOutset, T, F>(body)
+    }
+
+    /// As [`future`](Ctx::future) with an explicit out-set family — how
+    /// the benchmarks drive the `Mutex<Vec>` baseline over identical dag
+    /// machinery.
+    pub fn future_in<O, T, F>(&mut self, body: F) -> FutureHandle<T, O>
+    where
+        O: OutsetFamily,
+        T: Send + Sync + 'static,
+        F: for<'b> FnOnce(Ctx<'b, C>) -> T + Send + 'static,
+    {
+        self.future_raw::<O, T, _>(move |c, set_value| {
+            let value = body(c);
+            set_value(value);
+        })
+    }
+
+    /// Shared plumbing of [`future_in`](Ctx::future_in) and the derived
+    /// combinators: the body receives a one-shot value setter instead of
+    /// returning the value, so combinators can produce the value inside
+    /// nested touch continuations — which belong to the future's own
+    /// finish scope and therefore always precede completion.
+    fn future_raw<O, T, F>(&mut self, body: F) -> FutureHandle<T, O>
+    where
+        O: OutsetFamily,
+        T: Send + Sync + 'static,
+        F: for<'b> FnOnce(Ctx<'b, C>, Box<dyn FnOnce(T) + Send>) + Send + 'static,
+    {
+        let core = Arc::new(FutureCore::<T, O> {
+            outset: O::make(),
+            value: UnsafeCell::new(None),
+            completed: AtomicBool::new(false),
+        });
+        let (cfg, worker) = (self.cfg, self.worker);
+        let u = &mut *self.vertex;
+        // Join the enclosing finish scope exactly like Scope::fork: one
+        // increment making room for the future's completion vertex, then
+        // rotate this vertex onto the fresh right-hand handles
+        // (Vertex::fork_rotate encodes the handle discipline once).
+        let fin = u.fin;
+        let (i1, pair) = u.fork_rotate(cfg);
+        // Completion vertex: waits (count 1) for the future's body
+        // subtree; its own body publishes completion and sweeps the
+        // out-set — it runs with a worker context, so swept dependents go
+        // straight onto the deque as one batch.
+        let sweep_core = Arc::clone(&core);
+        let completion: Body<C> = Box::new(move |c: Ctx<'_, C>| {
+            sweep_core.completed.store(true, Ordering::SeqCst);
+            let mut ready: Vec<VertexPtr<C>> = Vec::new();
+            O::finish(&sweep_core.outset, &mut |token| {
+                let w = token as usize as *mut Vertex<C>;
+                // SAFETY: the token is a waiting vertex leaked by `touch`,
+                // scheduled by nobody else; resolving its single
+                // dependency is this sweep's exclusive job.
+                if unsafe { resolve_dependent::<C>(w) } {
+                    ready.push(VertexPtr(w));
+                }
+            });
+            c.worker.push_batch(ready);
+        });
+        let fw = Vertex::boxed(cfg, 1, i1, pair, fin, true, Some(completion));
+        let fw_ptr = Box::into_raw(fw);
+        // Body vertex: ready now, finish vertex = the completion vertex
+        // (the same wiring Ctx::chain gives its `first`).
+        // SAFETY: just leaked, freed only by its executor, strictly after
+        // the body subtree (which signals through these handles) is done.
+        let wc = unsafe { (*fw_ptr).counter_ref() };
+        let h_dec = C::root_dec(wc);
+        let value_core = Arc::clone(&core);
+        let body: Body<C> = Box::new(move |c: Ctx<'_, C>| {
+            let setter: Box<dyn FnOnce(T) + Send> = Box::new(move |value| {
+                // SAFETY: the single write (the one-shot setter is handed
+                // out once and called at most once, by a strand of the
+                // future's own subtree), ordered before every read via
+                // the completion protocol (see FutureCore).
+                unsafe { *value_core.value.get() = Some(value) };
+            });
+            body(c, setter);
+        });
+        let fv = Vertex::boxed(
+            cfg,
+            0,
+            C::root_inc(wc),
+            Arc::new(DecPair::new(h_dec, h_dec)),
+            fw_ptr,
+            true,
+            Some(body),
+        );
+        worker.push(VertexPtr(Box::into_raw(fv)));
+        FutureHandle { core }
+    }
+
+    /// [`future_then_in`](Ctx::future_then_in) with the default
+    /// ([`TreeOutset`]) broadcast structure for the derived future.
+    pub fn future_then<A, T, OA, F>(
+        &mut self,
+        input: &FutureHandle<A, OA>,
+        f: F,
+    ) -> FutureHandle<T, TreeOutset>
+    where
+        A: Send + Sync + 'static,
+        T: Send + Sync + 'static,
+        OA: OutsetFamily,
+        F: for<'b> FnOnce(Ctx<'b, C>, &A) -> T + Send + 'static,
+    {
+        self.future_then_in::<A, T, OA, TreeOutset, F>(input, f)
+    }
+
+    /// [`future_join_in`](Ctx::future_join_in) with the default
+    /// ([`TreeOutset`]) broadcast structure for the derived future.
+    pub fn future_join<A, B, T, OA, OB, F>(
+        &mut self,
+        left: &FutureHandle<A, OA>,
+        right: &FutureHandle<B, OB>,
+        f: F,
+    ) -> FutureHandle<T, TreeOutset>
+    where
+        A: Send + Sync + 'static,
+        B: Send + Sync + 'static,
+        T: Send + Sync + 'static,
+        OA: OutsetFamily,
+        OB: OutsetFamily,
+        F: for<'b> FnOnce(Ctx<'b, C>, &A, &B) -> T + Send + 'static,
+    {
+        self.future_join_in::<A, B, T, OA, OB, TreeOutset, F>(left, right, f)
+    }
+
+    /// A future computed from another future's value: completes after
+    /// `input` and its own derivation body. One out-set add on `input`,
+    /// one future creation — the pipeline-stage primitive.
+    pub fn future_then_in<A, T, OA, O, F>(
+        &mut self,
+        input: &FutureHandle<A, OA>,
+        f: F,
+    ) -> FutureHandle<T, O>
+    where
+        A: Send + Sync + 'static,
+        T: Send + Sync + 'static,
+        OA: OutsetFamily,
+        O: OutsetFamily,
+        F: for<'b> FnOnce(Ctx<'b, C>, &A) -> T + Send + 'static,
+    {
+        let input = input.clone();
+        self.future_raw::<O, T, _>(move |c, set_value| {
+            c.touch(&input, move |c2, a| {
+                let value = f(c2, a);
+                set_value(value);
+            });
+        })
+    }
+
+    /// A future computed from **two** other futures' values (a join
+    /// vertex): completes after both inputs and the combining body. This
+    /// is the wavefront/stencil primitive — see `examples/pipeline.rs`.
+    pub fn future_join_in<A, B, T, OA, OB, O, F>(
+        &mut self,
+        left: &FutureHandle<A, OA>,
+        right: &FutureHandle<B, OB>,
+        f: F,
+    ) -> FutureHandle<T, O>
+    where
+        A: Send + Sync + 'static,
+        B: Send + Sync + 'static,
+        T: Send + Sync + 'static,
+        OA: OutsetFamily,
+        OB: OutsetFamily,
+        O: OutsetFamily,
+        F: for<'b> FnOnce(Ctx<'b, C>, &A, &B) -> T + Send + 'static,
+    {
+        let left = left.clone();
+        let right = right.clone();
+        self.future_raw::<O, T, _>(move |c, set_value| {
+            let left2 = left.clone();
+            c.touch(&left, move |c2, _a| {
+                c2.touch(&right, move |c3, b| {
+                    // SAFETY: this chain runs strictly after `left`'s
+                    // completion (the outer touch ordered it).
+                    let a = unsafe { left2.core.value_ref() };
+                    let value = f(c3, a, b);
+                    set_value(value);
+                });
+            });
+        })
+    }
+
+    /// End this vertex with a continuation that runs only after `future`
+    /// completes (a runtime-added dependency edge). The continuation
+    /// inherits this vertex's obligations in its scope — its enclosing
+    /// finish waits for it, exactly as for a [`chain`](Ctx::chain)
+    /// continuation.
+    pub fn touch<T, O, K>(self, future: &FutureHandle<T, O>, then: K)
+    where
+        T: Send + Sync + 'static,
+        O: OutsetFamily,
+        K: for<'b> FnOnce(Ctx<'b, C>, &T) + Send + 'static,
+    {
+        let u = self.vertex;
+        let core = Arc::clone(&future.core);
+        let body: Body<C> = Box::new(move |c: Ctx<'_, C>| {
+            // SAFETY: this vertex is scheduled only by the completion
+            // sweep or the post-seal bounce, both ordered after the value
+            // write.
+            let value = unsafe { core.value_ref() };
+            then(c, value);
+        });
+        // The waiting vertex takes over u's scope position (inc, pair,
+        // fin, side) like a chain continuation, and waits on exactly one
+        // dependency of its own: the future's completion.
+        let w = Vertex::boxed(self.cfg, 1, u.inc, Arc::clone(&u.dec), u.fin, u.is_left, Some(body));
+        let w_ptr = Box::into_raw(w);
+        u.dead = true;
+        let token = w_ptr as usize as u64;
+        match O::add(&future.core.outset, token, self.worker.worker_id() as u64) {
+            AddEdge::Registered => {
+                // The sweep owns delivery; nothing more to do here.
+            }
+            AddEdge::Finished(t) => {
+                debug_assert_eq!(t, token);
+                // The future completed first (or the sweep claimed the
+                // race): the dependency is already satisfied — resolve
+                // and schedule inline.
+                // SAFETY: as in the sweep; the bounce transfers exclusive
+                // delivery to this caller.
+                if unsafe { resolve_dependent::<C>(w_ptr) } {
+                    self.worker.push(VertexPtr(w_ptr));
+                }
+            }
+        }
+    }
+}
+
+/// Drop the dependent's single future-dependency; `true` when that made
+/// it ready (always, today — dependents wait on exactly one future).
+///
+/// # Safety
+/// `w` must be a waiting vertex created by `touch`, not yet scheduled,
+/// and the caller must hold its exclusive delivery right (sweep or
+/// bounce).
+unsafe fn resolve_dependent<C: CounterFamily>(w: *mut Vertex<C>) -> bool {
+    // SAFETY: `w` is alive (leaked, unscheduled) per the caller contract.
+    let wref = unsafe { &*w };
+    let counter = wref.counter_ref();
+    // SAFETY: the root decrement handle matches the counter's initial
+    // surplus of 1, consumed exactly once by this exclusive delivery.
+    unsafe { C::decrement(counter, C::root_dec(counter)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_dag;
+    use incounter::{DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
+    use outset::MutexOutset;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn touch_after_completion_gets_value() {
+        // Force the future to complete before the touch by spinning on
+        // is_done() — exercises the AddEdge::Finished inline path.
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+            let f = ctx.future(|_| 99u64);
+            while !f.is_done() {
+                std::hint::spin_loop();
+            }
+            assert_eq!(f.try_get(), Some(&99));
+            ctx.touch(&f, move |_, v| {
+                o.store(*v, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 99);
+    }
+
+    #[test]
+    fn touch_before_completion_waits_for_value() {
+        // The future spins until the toucher has registered its edge, so
+        // the sweep path (AddEdge::Registered) is the one taken. The
+        // release happens in plain code *after* the touch call — touch
+        // consumes the Ctx but, like spawn, the body may keep running.
+        let registered = Arc::new(AtomicU64::new(0));
+        let out = Arc::new(AtomicU64::new(0));
+        let (r, o) = (Arc::clone(&registered), Arc::clone(&out));
+        run_dag::<DynSnzi, _>(DynConfig::default(), 3, move |mut ctx| {
+            let r2 = Arc::clone(&r);
+            let f = ctx.future(move |_| {
+                while r2.load(Ordering::Acquire) == 0 {
+                    std::hint::spin_loop();
+                }
+                7u64
+            });
+            ctx.touch(&f, move |_, v| {
+                o.store(*v, Ordering::Relaxed);
+            });
+            // Edge registered (or bounced) by now: let the future finish.
+            r.store(1, Ordering::Release);
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn many_touchers_fan_out_broadcast() {
+        for workers in [1, 2, 4] {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let h = Arc::clone(&hits);
+            run_dag::<DynSnzi, _>(DynConfig::default(), workers, move |mut ctx| {
+                let f = ctx.future(|_| 5u64);
+                let mut scope = ctx.into_scope();
+                for _ in 0..100 {
+                    let f = f.clone();
+                    let h = Arc::clone(&h);
+                    scope.fork(move |c| {
+                        c.touch(&f, move |_, v| {
+                            h.fetch_add(*v as usize, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 500, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn future_with_nested_parallelism_completes_after_subtree() {
+        // The future's body spawns; dependents must observe the whole
+        // subtree's effects, not just the root strand's.
+        let cell = Arc::new(AtomicU64::new(0));
+        let seen = Arc::new(AtomicU64::new(0));
+        let (c1, s1) = (Arc::clone(&cell), Arc::clone(&seen));
+        run_dag::<DynSnzi, _>(DynConfig::default(), 4, move |mut ctx| {
+            let c2 = Arc::clone(&c1);
+            let f = ctx.future(move |c: Ctx<'_, DynSnzi>| {
+                let (a, b) = (Arc::clone(&c2), c2);
+                c.spawn(
+                    move |_| {
+                        a.fetch_add(3, Ordering::Relaxed);
+                    },
+                    move |_| {
+                        b.fetch_add(4, Ordering::Relaxed);
+                    },
+                );
+                1u64 // value published at closure return
+            });
+            ctx.touch(&f, move |_, v| {
+                assert_eq!(*v, 1);
+                s1.store(cell.load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 7, "touch ran before subtree done");
+    }
+
+    #[test]
+    fn futures_work_on_all_counter_families() {
+        fn drive<C: CounterFamily>(cfg: C::Config) {
+            let out = Arc::new(AtomicU64::new(0));
+            let o = Arc::clone(&out);
+            run_dag::<C, _>(cfg, 2, move |mut ctx| {
+                let f = ctx.future(|_| 21u64);
+                ctx.touch(&f, move |_, v| {
+                    o.fetch_add(*v * 2, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(out.load(Ordering::Relaxed), 42);
+        }
+        drive::<DynSnzi>(DynConfig::always_grow());
+        drive::<DynSnzi>(DynConfig::never_grow());
+        drive::<FetchAdd>(());
+        drive::<FixedDepth>(FixedConfig { depth: 2 });
+    }
+
+    #[test]
+    fn mutex_outset_family_works_in_dag() {
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+            let f = ctx.future_in::<MutexOutset, _, _>(|_| 11u64);
+            ctx.touch(&f, move |_, v| {
+                o.store(*v, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn future_then_chains_values() {
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 3, move |mut ctx| {
+            let a = ctx.future(|_| 5u64);
+            let b = ctx.future_then(&a, |_, v| v * 10);
+            let c3 = ctx.future_then(&b, |_, v| v + 1);
+            ctx.touch(&c3, move |_, v| {
+                o.store(*v, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 51);
+    }
+
+    #[test]
+    fn future_join_combines_both_inputs() {
+        for workers in [1, 4] {
+            let out = Arc::new(AtomicU64::new(0));
+            let o = Arc::clone(&out);
+            run_dag::<DynSnzi, _>(DynConfig::default(), workers, move |mut ctx| {
+                let a = ctx.future(|_| 1000u64);
+                let b = ctx.future(|_| 337u64);
+                let j = ctx.future_join(&a, &b, |_, x, y| x + y);
+                ctx.touch(&j, move |_, v| {
+                    o.store(*v, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(out.load(Ordering::Relaxed), 1337, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn join_tree_reduction_via_futures() {
+        // Pairwise join reduction over 32 leaf futures: a dynamic dag in
+        // the shape the in-counter was never built for, still exact.
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 4, move |mut ctx| {
+            let mut layer: Vec<FutureHandle<u64>> =
+                (0..32u64).map(|i| ctx.future(move |_| i)).collect();
+            while layer.len() > 1 {
+                let mut next = Vec::new();
+                for pair in layer.chunks(2) {
+                    let j = ctx.future_join(&pair[0], &pair[1], |_, a, b| a + b);
+                    next.push(j);
+                }
+                layer = next;
+            }
+            ctx.touch(&layer[0], move |_, v| {
+                o.store(*v, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(out.load(Ordering::Relaxed), (0..32u64).sum());
+    }
+
+    #[test]
+    fn chained_futures_pipeline() {
+        // future B touches future A: an edge between two dynamically
+        // created vertices, no common spawn ancestor on the path.
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 3, move |mut ctx| {
+            let a = ctx.future(|_| 10u64);
+            let b = ctx.future(|_| 3u64);
+            let (a3, o2) = (a.clone(), o);
+            ctx.touch(&b, move |c, vb| {
+                let vb = *vb;
+                c.touch(&a3, move |_, va| {
+                    o2.store(va + vb, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 13);
+    }
+}

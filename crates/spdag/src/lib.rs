@@ -52,9 +52,11 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod dag;
+pub mod futures;
 pub mod scope;
 pub mod vertex;
 
 pub use dag::{run_dag, run_dag_timed, Ctx, DagRunStats};
+pub use futures::FutureHandle;
 pub use scope::Scope;
 pub use vertex::Vertex;

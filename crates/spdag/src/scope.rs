@@ -37,8 +37,6 @@
 //! assert_eq!(hits.load(Ordering::Relaxed), 10);
 //! ```
 
-use std::sync::Arc;
-
 use incounter::CounterFamily;
 
 use crate::dag::Ctx;
@@ -74,24 +72,12 @@ impl<'a, C: CounterFamily> Scope<'a, C> {
     pub fn fork_boxed(&mut self, body: Body<C>) {
         let (cfg, worker) = (self.ctx.cfg, self.ctx.worker);
         let u = self.ctx.vertex_mut();
-        // SAFETY: `fin` is alive: this vertex is an unfinished strand of
-        // its scope (same argument as Ctx::spawn).
-        let fin_ref = unsafe { &*u.fin };
-        let fc = fin_ref.counter_ref();
-        let vid = (u as *const Vertex<C> as u64).wrapping_add(u.forks);
-        // One increment per fork, exactly as in Figure 5 ...
-        // SAFETY: u.inc belongs to fc by construction.
-        let (d2, i1, i2) = unsafe { C::increment(cfg, fc, u.inc, u.is_left, vid) };
-        // ... then claim the inherited handle and build the shared pair.
-        let d1 = u.dec.claim();
-        let pair = Arc::new(C::make_pair(cfg, d1, d2));
-        let v = Vertex::boxed(cfg, 0, i1, Arc::clone(&pair), u.fin, true, Some(body));
-        // Rotate: the running vertex becomes the right child of its own
-        // spawn — new increment handle, new shared pair, right position.
-        u.inc = i2;
-        u.dec = pair;
-        u.is_left = false;
-        u.forks += 1;
+        // One increment, then rotate this vertex onto the right-hand
+        // handles (Vertex::fork_rotate); the forked task is the left
+        // child, ready immediately.
+        let fin = u.fin;
+        let (i1, pair) = u.fork_rotate(cfg);
+        let v = Vertex::boxed(cfg, 0, i1, pair, fin, true, Some(body));
         worker.push(VertexPtr(Box::into_raw(v)));
     }
 
@@ -120,9 +106,10 @@ impl<'a, C: CounterFamily> Scope<'a, C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use incounter::{DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
     use crate::run_dag;
+    use incounter::{DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     fn flat_fanin<C: CounterFamily>(cfg: C::Config, workers: usize, n: u64) -> u64 {
         let hits = Arc::new(AtomicU64::new(0));

@@ -101,12 +101,39 @@ impl<C: CounterFamily> Vertex<C> {
         })
     }
 
+    /// The fork step shared by [`Scope::fork`](crate::Scope::fork) and the
+    /// future constructors: perform one increment on this vertex's finish
+    /// counter to make room for a new sibling, then *rotate* this vertex
+    /// onto the fresh right-hand handles (it becomes the right child of
+    /// its own fork). Returns the left child's increment handle and the
+    /// shared decrement pair to build the sibling with.
+    ///
+    /// Encodes the ordering invariant the analysis leans on: the
+    /// increment (grow + arrive, Figure 5) happens strictly **before**
+    /// the inherited handle is claimed.
+    pub(crate) fn fork_rotate(&mut self, cfg: &C::Config) -> (C::Inc, Arc<DecPair<C::Dec>>) {
+        // SAFETY: `fin` is alive — this vertex is an unfinished strand of
+        // its scope (same argument as Ctx::spawn).
+        let fin_ref = unsafe { &*self.fin };
+        let fc = fin_ref.counter_ref();
+        let vid = (self as *const Vertex<C> as u64).wrapping_add(self.forks);
+        // One increment per fork, exactly as in Figure 5 ...
+        // SAFETY: self.inc belongs to fc by construction.
+        let (d2, i1, i2) = unsafe { C::increment(cfg, fc, self.inc, self.is_left, vid) };
+        // ... then claim the inherited handle and build the shared pair.
+        let d1 = self.dec.claim();
+        let pair = Arc::new(C::make_pair(cfg, d1, d2));
+        self.inc = i2;
+        self.dec = Arc::clone(&pair);
+        self.is_left = false;
+        self.forks += 1;
+        (i1, pair)
+    }
+
     /// The counter of this vertex; panics if the vertex is not a finish
     /// vertex (an sp-dag structural bug, not a user error).
     pub(crate) fn counter_ref(&self) -> &C::Counter {
-        self.counter
-            .as_ref()
-            .expect("sp-dag invariant violated: finish vertex without a counter")
+        self.counter.as_ref().expect("sp-dag invariant violated: finish vertex without a counter")
     }
 
     /// Non-destructive zero test on this vertex's own counter (the paper's

@@ -35,10 +35,7 @@ fn fib<C: CounterFamily>(ctx: Ctx<'_, C>, n: u64, dest: Arc<AtomicU64>) {
     let (a1, a2) = (Arc::clone(&res1), Arc::clone(&res2));
     ctx.chain(
         move |c| {
-            c.spawn(
-                move |c2| fib(c2, n - 1, a1),
-                move |c2| fib(c2, n - 2, a2),
-            );
+            c.spawn(move |c2| fib(c2, n - 1, a1), move |c2| fib(c2, n - 2, a2));
         },
         move |_| {
             dest.store(
@@ -65,9 +62,6 @@ fn main() {
 
     let value = result.load(Ordering::Relaxed);
     println!("fib({n}) = {value}   [{workers} workers, {elapsed:?}]");
-    println!(
-        "dag vertices: {}   steals: {}",
-        stats.pool.tasks, stats.pool.steals
-    );
+    println!("dag vertices: {}   steals: {}", stats.pool.tasks, stats.pool.steals);
     assert_eq!(value, fib_seq(n));
 }

@@ -16,10 +16,7 @@ fn indegree2_rec<C: CounterFamily>(ctx: Ctx<'_, C>, n: u64) {
         // finish { async rec(n/2); async rec(n/2) }
         ctx.chain(
             move |c| {
-                c.spawn(
-                    move |c2| indegree2_rec(c2, n / 2),
-                    move |c2| indegree2_rec(c2, n / 2),
-                );
+                c.spawn(move |c2| indegree2_rec(c2, n / 2), move |c2| indegree2_rec(c2, n / 2));
             },
             move |_| {},
         );

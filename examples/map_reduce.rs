@@ -80,9 +80,7 @@ fn main() {
     let result = Arc::new(AtomicU64::new(0));
     let (d, r) = (Arc::clone(&data), Arc::clone(&result));
     let t0 = Instant::now();
-    Runtime::new()
-        .workers(workers)
-        .run(move |ctx| map_reduce(ctx, d, 0, len, r));
+    Runtime::new().workers(workers).run(move |ctx| map_reduce(ctx, d, 0, len, r));
     let par = t0.elapsed();
 
     let got = result.load(Ordering::Relaxed);

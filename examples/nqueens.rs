@@ -32,9 +32,7 @@ impl Board {
     fn safe(&self, col: u32) -> bool {
         let d1 = self.row + col;
         let d2 = self.row + self.n - 1 - col;
-        self.cols & (1 << col) == 0
-            && self.diag1 & (1 << d1) == 0
-            && self.diag2 & (1 << d2) == 0
+        self.cols & (1 << col) == 0 && self.diag1 & (1 << d1) == 0 && self.diag2 & (1 << d2) == 0
     }
 
     fn place(&self, col: u32) -> Board {
@@ -102,6 +100,9 @@ fn main() {
     let got = solutions.load(Ordering::Relaxed);
     println!("{n}-queens: {got} solutions");
     println!("sequential: {seq:?}");
-    println!("parallel  : {par:?}  ({workers} workers, speedup {:.2}x)", seq.as_secs_f64() / par.as_secs_f64());
+    println!(
+        "parallel  : {par:?}  ({workers} workers, speedup {:.2}x)",
+        seq.as_secs_f64() / par.as_secs_f64()
+    );
     assert_eq!(got, expected);
 }

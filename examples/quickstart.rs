@@ -38,8 +38,7 @@ fn main() {
             },
             // then: runs only after *everything* above completed
             move |_| {
-                let total =
-                    low2.load(Ordering::Relaxed) + high2.load(Ordering::Relaxed);
+                let total = low2.load(Ordering::Relaxed) + high2.load(Ordering::Relaxed);
                 out2.set(total);
             },
         );

@@ -10,10 +10,7 @@ use spdag::{run_dag, Ctx};
 fn fanin_counting<C: CounterFamily>(ctx: Ctx<'_, C>, n: u64, hits: Arc<AtomicU64>) {
     if n >= 2 {
         let (h1, h2) = (Arc::clone(&hits), hits);
-        ctx.spawn(
-            move |c| fanin_counting(c, n / 2, h1),
-            move |c| fanin_counting(c, n / 2, h2),
-        );
+        ctx.spawn(move |c| fanin_counting(c, n / 2, h1), move |c| fanin_counting(c, n / 2, h2));
     } else {
         hits.fetch_add(1, Ordering::Relaxed);
     }
@@ -81,9 +78,7 @@ fn nested_finish_pyramid() {
         let n = 1u64 << 12;
         let hits = Arc::new(AtomicU64::new(0));
         let h = Arc::clone(&hits);
-        run_dag::<DynSnzi, _>(DynConfig::with_threshold(100), workers, move |ctx| {
-            rec(ctx, n, h)
-        });
+        run_dag::<DynSnzi, _>(DynConfig::with_threshold(100), workers, move |ctx| rec(ctx, n, h));
         assert_eq!(hits.load(Ordering::Relaxed), n);
     }
 }
@@ -137,9 +132,8 @@ fn stats_report_steals_under_skewed_load() {
     let n = 1 << 12;
     let hits = Arc::new(AtomicU64::new(0));
     let h = Arc::clone(&hits);
-    let stats = run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |ctx| {
-        fanin_counting(ctx, n, h)
-    });
+    let stats =
+        run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |ctx| fanin_counting(ctx, n, h));
     assert_eq!(hits.load(Ordering::Relaxed), n);
     // Not asserting steals > 0 (a fast worker could drain everything),
     // but per-worker counts must sum to the total.

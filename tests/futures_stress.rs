@@ -1,0 +1,147 @@
+//! Integration stress for runtime-added edges: futures created and
+//! touched from deep inside nested-parallel computations, across counter
+//! families, worker counts and both out-set families — checking that
+//! every touch continuation runs exactly once and observes the future's
+//! value, under real scheduler races.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dynsnzi::prelude::*;
+
+/// A binary tree of forks where every leaf touches the same future: the
+/// maximal broadcast race (many adds vs one finish).
+#[test]
+fn broadcast_fanout_exactly_once() {
+    for workers in [1, 2, 4] {
+        for n in [1u64, 7, 64, 300] {
+            let sum = Arc::new(AtomicU64::new(0));
+            let runs = Arc::new(AtomicU64::new(0));
+            let (s, r) = (Arc::clone(&sum), Arc::clone(&runs));
+            Runtime::new().workers(workers).run(move |mut ctx| {
+                let f = ctx.future(|_| 3u64);
+                let mut scope = ctx.into_scope();
+                for _ in 0..n {
+                    let f = f.clone();
+                    let (s, r) = (Arc::clone(&s), Arc::clone(&r));
+                    scope.fork(move |c| {
+                        c.touch(&f, move |_, v| {
+                            s.fetch_add(*v, Ordering::Relaxed);
+                            r.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+            assert_eq!(runs.load(Ordering::Relaxed), n, "workers={workers} n={n}");
+            assert_eq!(sum.load(Ordering::Relaxed), 3 * n, "workers={workers} n={n}");
+        }
+    }
+}
+
+/// A chain of futures, each touching its predecessor from inside its own
+/// body: a genuinely non-series-parallel dag (the stage edges cut across
+/// the fork tree), exercised for both out-set families. Each stage's
+/// value is an `Arc<AtomicU64>` cell filled by a touch continuation
+/// inside the stage's own scope — completion orders the fill before any
+/// dependent read, so the chain transports values through `stages` hops.
+#[test]
+fn staged_chain_through_futures() {
+    fn drive<O: OutsetFamily>(workers: usize, stages: u64) -> u64 {
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        Runtime::new().workers(workers).run(move |mut ctx| {
+            let seed = Arc::new(AtomicU64::new(1));
+            let mut prev: FutureHandle<Arc<AtomicU64>, O> = {
+                let s = Arc::clone(&seed);
+                ctx.future_in::<O, _, _>(move |_| s)
+            };
+            for _ in 0..stages {
+                let p = prev.clone();
+                prev = ctx.future_in::<O, _, _>(move |c: Ctx<'_, DynSnzi>| {
+                    let cell = Arc::new(AtomicU64::new(0));
+                    let c2 = Arc::clone(&cell);
+                    c.touch(&p, move |_, prev_cell| {
+                        c2.store(prev_cell.load(Ordering::Acquire) + 1, Ordering::Release);
+                    });
+                    cell
+                });
+            }
+            ctx.touch(&prev, move |_, cell| {
+                o.store(cell.load(Ordering::Acquire), Ordering::Relaxed);
+            });
+        });
+        out.load(Ordering::Relaxed)
+    }
+    for workers in [1, 3] {
+        assert_eq!(drive::<TreeOutset>(workers, 50), 51, "tree, workers={workers}");
+        assert_eq!(drive::<MutexOutset>(workers, 50), 51, "mutex, workers={workers}");
+    }
+}
+
+/// Futures created at every level of a recursive spawn tree, each touched
+/// by the opposite branch — crossing edges all over the dag.
+#[test]
+fn crossing_edges_in_recursive_tree() {
+    fn rec(ctx: Ctx<'_, DynSnzi>, depth: u32, acc: Arc<AtomicU64>) {
+        if depth == 0 {
+            return;
+        }
+        let mut ctx = ctx;
+        let f = ctx.future(move |_| depth as u64);
+        let (a1, a2) = (Arc::clone(&acc), acc);
+        let f2 = f.clone();
+        ctx.spawn(
+            move |c| {
+                let mut c = c;
+                let g = c.future(move |_| 100 * depth as u64);
+                let a = Arc::clone(&a1);
+                c.touch(&g, move |c2, v| {
+                    a1.fetch_add(*v, Ordering::Relaxed);
+                    rec(c2, depth - 1, a);
+                });
+            },
+            move |c| {
+                c.touch(&f2, move |c2, v| {
+                    a2.fetch_add(*v, Ordering::Relaxed);
+                    rec(c2, depth - 1, a2.clone());
+                });
+            },
+        );
+    }
+    for workers in [2, 4] {
+        let acc = Arc::new(AtomicU64::new(0));
+        let a = Arc::clone(&acc);
+        Runtime::new().workers(workers).run(move |ctx| rec(ctx, 6, a));
+        // Each level d contributes (100*d + d) * 2^(6-d) ... closed form
+        // unimportant: determinism is the property under test.
+        let expected: u64 = {
+            fn model(depth: u32) -> u64 {
+                if depth == 0 {
+                    return 0;
+                }
+                101 * depth as u64 + 2 * model(depth - 1)
+            }
+            model(6)
+        };
+        assert_eq!(acc.load(Ordering::Relaxed), expected, "workers={workers}");
+    }
+}
+
+/// try_get never lies: false negatives allowed, never false positives.
+#[test]
+fn try_get_is_safe_snapshot() {
+    let observed_done_value = Arc::new(AtomicU64::new(u64::MAX));
+    let o = Arc::clone(&observed_done_value);
+    Runtime::new().workers(2).run(move |mut ctx| {
+        let f = ctx.future(|_| 424242u64);
+        // Poll until done, then the value must be exactly right.
+        loop {
+            if let Some(v) = f.try_get() {
+                o.store(*v, Ordering::Relaxed);
+                break;
+            }
+            std::hint::spin_loop();
+        }
+    });
+    assert_eq!(observed_done_value.load(Ordering::Relaxed), 424242);
+}

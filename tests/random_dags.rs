@@ -35,8 +35,7 @@ fn prog_strategy() -> impl Strategy<Value = Prog> {
     let leaf = Just(Prog::Leaf);
     leaf.prop_recursive(5, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Prog::Spawn(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Prog::Spawn(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| Prog::Chain(Box::new(a), Box::new(b))),
         ]
     })
@@ -61,19 +60,13 @@ fn exec<C: CounterFamily>(
             let la = a.leaves();
             let (s1, s2) = (Arc::clone(&stamps), stamps);
             let (q1, q2) = (Arc::clone(&seq), seq);
-            ctx.spawn(
-                move |c| exec(c, *a, lo, s1, q1),
-                move |c| exec(c, *b, lo + la, s2, q2),
-            );
+            ctx.spawn(move |c| exec(c, *a, lo, s1, q1), move |c| exec(c, *b, lo + la, s2, q2));
         }
         Prog::Chain(a, b) => {
             let la = a.leaves();
             let (s1, s2) = (Arc::clone(&stamps), stamps);
             let (q1, q2) = (Arc::clone(&seq), seq);
-            ctx.chain(
-                move |c| exec(c, *a, lo, s1, q1),
-                move |c| exec(c, *b, lo + la, s2, q2),
-            );
+            ctx.chain(move |c| exec(c, *a, lo, s1, q1), move |c| exec(c, *b, lo + la, s2, q2));
         }
     }
 }

@@ -119,10 +119,7 @@ fn theorem_4_9_per_node_touches_constant_in_n() {
     // The bound must not grow with n — the substance of Theorem 4.9.
     let maxes: Vec<u64> = observed.iter().map(|&(_, m)| m).collect();
     let spread = maxes.iter().max().unwrap() - maxes.iter().min().unwrap();
-    assert!(
-        spread <= 4,
-        "per-node touch bound should be size-invariant, got {observed:?}"
-    );
+    assert!(spread <= 4, "per-node touch bound should be size-invariant, got {observed:?}");
 }
 
 #[test]
@@ -190,9 +187,5 @@ fn theorem_4_9_holds_under_parallel_expansion() {
     let stats = tree.stats();
     assert!(stats.max_arrive_chain <= 3, "Corollary 4.7 under concurrency");
     let profile = tree.contention_profile();
-    assert!(
-        profile.max_touch <= 16,
-        "Theorem 4.9 under concurrency: {}",
-        profile.max_touch
-    );
+    assert!(profile.max_touch <= 16, "Theorem 4.9 under concurrency: {}", profile.max_touch);
 }

@@ -1,0 +1,288 @@
+//! Std-only shim for the subset of the `criterion` API this workspace
+//! uses (see `vendor/README.md`).
+//!
+//! Each `bench_with_input` warms up for `warm_up_time`, then runs timed
+//! iterations until `measurement_time` elapses or `sample_size` samples
+//! are collected, and prints mean / min / max to stdout. CLI arguments
+//! that are not flags are treated as substring filters on the benchmark
+//! id, mirroring `cargo bench -- <filter>`; everything else (`--bench`,
+//! `--quick`, ...) is accepted and ignored.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; argument handling happens in
+    /// [`Criterion::default`].
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (operations) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        let filters = &self.criterion.filters;
+        if !filters.is_empty() && !filters.iter().any(|p| full.contains(p.as_str())) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&full, &bencher.samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark without input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId::new(id.into(), "");
+        self.bench_with_input(id, &(), |b, _| f(b))
+    }
+
+    /// Close the group (prints nothing; results stream as they finish).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly (see module docs for the policy).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_until = Instant::now() + self.warm_up_time;
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let measure_until = Instant::now() + self.measurement_time;
+        while self.samples.len() < self.sample_size || Instant::now() < measure_until {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= self.sample_size && Instant::now() >= measure_until {
+                break;
+            }
+            // Hard cap so tiny routines cannot accumulate unbounded samples.
+            if self.samples.len() >= self.sample_size * 100 {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>14}/s", fmt_rate(n as f64 / mean.as_secs_f64()))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>13}B/s", fmt_rate(n as f64 / mean.as_secs_f64()))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<56} time: [{} {} {}]{rate}  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} K", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+/// Prevent the optimizer from discarding a value (std-backed).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion { filters: vec![] };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("spin", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                ran += x;
+            })
+        });
+        g.finish();
+        assert!(ran >= 3, "routine must run at least sample_size times");
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = Criterion { filters: vec!["nomatch".to_string()] };
+        let mut g = c.benchmark_group("shim");
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::new("x", 1), &(), |b, _| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_rate(2e6).starts_with("2.00 M"));
+    }
+}

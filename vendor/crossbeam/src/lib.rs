@@ -1,0 +1,128 @@
+//! Std-only shim for the `crossbeam::epoch` surface this workspace uses
+//! (see `vendor/README.md`): [`epoch::pin`], [`epoch::Guard::defer_unchecked`]
+//! and [`epoch::Guard::flush`].
+//!
+//! ## Reclamation model
+//!
+//! Instead of full epoch-based reclamation, the shim tracks one global pin
+//! count and a queue of deferred destructors. A destructor runs only at a
+//! moment when the pin count is **zero**, observed while holding the queue
+//! lock (under which all enqueues also happen, and enqueuers are pinned).
+//! This is strictly more conservative than epochs: a deferred destructor
+//! enqueued while some guard `g` was pinned cannot run before `g` drops,
+//! because the count cannot reach zero earlier. The cost is laziness —
+//! under permanent pinning pressure garbage accumulates until the next
+//! quiescent instant (and anything still queued at process exit is simply
+//! never freed, which the OS reclaims).
+
+pub mod epoch {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    static PINS: AtomicUsize = AtomicUsize::new(0);
+    static GARBAGE: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
+
+    /// A deferred destructor. The `Send` promise is the caller's (that is
+    /// what makes [`Guard::defer_unchecked`] unsafe, exactly as upstream).
+    struct Deferred(Box<dyn FnOnce()>);
+    unsafe impl Send for Deferred {}
+
+    /// An RAII pin on the current "epoch": deferred destructors enqueued
+    /// while any guard is alive will not run until no guard is alive.
+    pub struct Guard {
+        _not_send: std::marker::PhantomData<*mut ()>,
+    }
+
+    /// Pin the current thread.
+    pub fn pin() -> Guard {
+        PINS.fetch_add(1, Ordering::SeqCst);
+        Guard { _not_send: std::marker::PhantomData }
+    }
+
+    impl Guard {
+        /// Defer `f` until every guard alive now (including this one) has
+        /// dropped.
+        ///
+        /// # Safety
+        /// `f` must be safe to call from any thread once all currently
+        /// pinned guards have unpinned (the upstream contract).
+        pub unsafe fn defer_unchecked<F: FnOnce()>(&self, f: F) {
+            let boxed: Box<dyn FnOnce() + '_> = Box::new(f);
+            // Extend the captures' lifetime to 'static; soundness is the
+            // caller's contract above (upstream has the same obligation).
+            let boxed: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(boxed) };
+            GARBAGE.lock().unwrap().push(Deferred(boxed));
+        }
+
+        /// Encourage collection (a no-op beyond what [`Drop`] already does).
+        pub fn flush(&self) {}
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            if PINS.fetch_sub(1, Ordering::SeqCst) == 1 {
+                collect();
+            }
+        }
+    }
+
+    fn collect() {
+        // Re-check the pin count *under the lock*: enqueues happen under
+        // this lock and only from pinned threads, so observing zero here
+        // proves every queued destructor's stragglers are gone.
+        let batch: Vec<Deferred> = {
+            let mut q = match GARBAGE.lock() {
+                Ok(q) => q,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if PINS.load(Ordering::SeqCst) != 0 || q.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *q)
+        };
+        for Deferred(f) in batch {
+            f();
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // The pin count is process-global, so tests that assert on exact
+        // collection instants must not run concurrently with each other.
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+        #[test]
+        fn deferred_runs_after_last_unpin() {
+            let _serial = TEST_LOCK.lock().unwrap();
+            let ran = Arc::new(AtomicBool::new(false));
+            let outer = pin();
+            {
+                let g = pin();
+                let r = Arc::clone(&ran);
+                unsafe { g.defer_unchecked(move || r.store(true, Ordering::SeqCst)) };
+                g.flush();
+            }
+            assert!(!ran.load(Ordering::SeqCst), "must not run while the outer guard is pinned");
+            drop(outer);
+            assert!(ran.load(Ordering::SeqCst), "runs at the quiescent instant");
+        }
+
+        #[test]
+        fn nested_guards_on_one_thread() {
+            let _serial = TEST_LOCK.lock().unwrap();
+            let ran = Arc::new(AtomicBool::new(false));
+            let a = pin();
+            let b = pin();
+            let r = Arc::clone(&ran);
+            unsafe { a.defer_unchecked(move || r.store(true, Ordering::SeqCst)) };
+            drop(a);
+            assert!(!ran.load(Ordering::SeqCst));
+            drop(b);
+            assert!(ran.load(Ordering::SeqCst));
+        }
+    }
+}

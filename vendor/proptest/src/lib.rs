@@ -1,0 +1,144 @@
+//! Std-only shim for the subset of the `proptest` API this workspace uses
+//! (see `vendor/README.md`).
+//!
+//! Semantics: each `proptest!`-generated test runs `ProptestConfig::cases`
+//! random cases sampled from the given strategies. There is **no
+//! shrinking**; on failure the test panics with the sampled inputs in the
+//! message (all argument types used in this workspace are `Debug`). The
+//! RNG seed is derived from the test's module path and name so runs are
+//! reproducible; set `PROPTEST_SEED=<u64>` to explore a different corner
+//! of the input space.
+
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+
+/// Per-test configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Accepted for upstream API compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Commonly used items in one import (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fail the current case (panics; no shrink machinery to unwind through).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Generate `#[test]` functions running random cases over strategies.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0u64..10, v in proptest::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&$strat, &mut __rng);
+                    )+
+                    // One line per case on failure: the inputs are rendered
+                    // eagerly (the body may consume them) and reported by a
+                    // drop guard that only fires while panicking.
+                    let __ctx = $crate::CaseContext {
+                        name: stringify!($name),
+                        case: __case,
+                        inputs: format!(
+                            concat!($(stringify!($arg), " = {:?}  ",)+),
+                            $(&$arg,)+
+                        ),
+                    };
+                    $body
+                    std::mem::forget(__ctx);
+                }
+            }
+        )*
+    };
+}
+
+/// Drop guard that prints the failing case's inputs when a property body
+/// panics (forgotten on success, so passing cases print nothing).
+#[doc(hidden)]
+pub struct CaseContext {
+    pub name: &'static str,
+    pub case: u32,
+    pub inputs: String,
+}
+
+impl Drop for CaseContext {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: {} failed at case {} with inputs: {}",
+                self.name, self.case, self.inputs
+            );
+        }
+    }
+}
