@@ -1,18 +1,22 @@
 //! Criterion counterpart of the out-set study: the tree-of-blocks
 //! broadcast against the `Mutex<Vec>` baseline on the raw add path, the
-//! dag-level fanout broadcast and the pipeline wavefront. Expected shape:
-//! mutex wins uncontended (no slot machinery), tree wins under add
-//! contention (lane spreading), pipelines trade per-future footprint
-//! against add scalability.
+//! dag-level fanout broadcast and the pipeline wavefront, plus the
+//! adaptive-growth comparison (1-lane adaptive start vs the pre-grown
+//! fixed table vs mutex). Expected shape: mutex wins uncontended (no
+//! slot machinery), tree wins under add contention (lane spreading),
+//! pipelines trade per-future footprint against add scalability, and the
+//! adaptive start converges to within a few percent of pre-grown once
+//! the table has split up to the contention level.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dynsnzi_bench::workloads::{
-    fanout_broadcast_ops, pipeline_stages_ops, raw_outset_bench, RawOutset,
+    fanout_broadcast_ops, pipeline_stages_ops, raw_growth_bench, raw_outset_bench, RawOutset,
 };
 use dynsnzi_bench::Algo;
 use incounter::DynConfig;
+use outset::GrowthPolicy;
 
 const RAW_ADDS: u64 = 100_000;
 const FANOUT_N: u64 = 1 << 14;
@@ -51,6 +55,26 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| kind.run_pipeline(cfg, w, stages, width))
             },
         );
+    }
+    g.finish();
+
+    // Growth-curve: the adaptive single-lane start against a table
+    // pre-grown to the adaptive cap, raw adds under full contention.
+    let mut g = c.benchmark_group("outset_growth");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for threads in [1usize, workers, 2 * workers] {
+        g.throughput(Throughput::Elements(threads as u64 * RAW_ADDS));
+        g.bench_with_input(BenchmarkId::new("adaptive", threads), &threads, |b, &t| {
+            b.iter(|| raw_growth_bench(t, RAW_ADDS, 1, GrowthPolicy::default()).elapsed)
+        });
+        g.bench_with_input(BenchmarkId::new("pregrown", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let lanes = GrowthPolicy::default_max_lanes();
+                raw_growth_bench(t, RAW_ADDS, lanes, GrowthPolicy::fixed(lanes)).elapsed
+            })
+        });
     }
     g.finish();
 }

@@ -1,13 +1,14 @@
 //! The evaluation harness: regenerates every figure of the paper.
 //!
 //! ```text
-//! harness <fig8|...|fig15|outset|all> [flags]
+//! harness <fig8|...|fig15|outset|growth|all> [flags]
 //!
 //! flags:
 //!   --n <N>            benchmark size (default: 131072; paper: 8388608)
 //!   --runs <R>         repetitions per configuration, median reported (default 3)
 //!   --max-workers <W>  highest worker count swept (default: 2 × hardware threads)
 //!   --pairs <P>        arrive/depart pairs per thread in fig12 (default 200000)
+//!   --grow-adds <A>    adds per thread in the growth-curve study (default n/8)
 //!   --outdir <DIR>     where results/*.txt go (default ./results)
 //!   --paper            use the paper's n = 8M
 //!   --quick            tiny sizes for a smoke run
@@ -23,16 +24,20 @@ use std::time::Duration;
 use dynsnzi_bench::report::{fmt_throughput, print_row, Record, Reporter};
 use dynsnzi_bench::sweep::{median_duration, run_repeated, throughput_per_core, MeasureOpts};
 use dynsnzi_bench::workloads::{
-    calibrate_dummy_unit_ns, fanin_ops, fanout_broadcast_ops, indegree2_ops, pipeline_stages_ops,
-    raw_counter_bench, raw_outset_bench, RawCounter, RawOutset,
+    calibrate_dummy_unit_ns, fanin_ops, fanout_broadcast_ops, fanout_broadcast_probed,
+    indegree2_ops, outset_footprint_report, pipeline_stages_ops, raw_counter_bench,
+    raw_growth_bench, raw_outset_bench, GrowthStats, RawCounter, RawOutset,
 };
 use dynsnzi_bench::Algo;
-use incounter::DynConfig;
+use incounter::{DynConfig, DynSnzi};
+use outset::GrowthPolicy;
+use snzi::Probability;
 
 struct Opts {
     figures: Vec<String>,
     measure: MeasureOpts,
     pairs: u64,
+    grow_adds: Option<u64>,
     outdir: PathBuf,
 }
 
@@ -40,6 +45,7 @@ fn parse_args() -> Opts {
     let mut measure = MeasureOpts::auto();
     let mut figures = Vec::new();
     let mut pairs = 200_000u64;
+    let mut grow_adds = None;
     let mut outdir = PathBuf::from("results");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,6 +59,9 @@ fn parse_args() -> Opts {
                     args.next().expect("--max-workers W").parse().expect("numeric")
             }
             "--pairs" => pairs = args.next().expect("--pairs P").parse().expect("numeric"),
+            "--grow-adds" => {
+                grow_adds = Some(args.next().expect("--grow-adds A").parse().expect("numeric"))
+            }
             "--outdir" => outdir = PathBuf::from(args.next().expect("--outdir DIR")),
             "--paper" => measure = measure.paper_scale(),
             "--quick" => {
@@ -64,7 +73,7 @@ fn parse_args() -> Opts {
                 println!("see module docs: harness <fig8..fig15|all> [--n N] [--runs R] ...");
                 std::process::exit(0);
             }
-            fig if fig.starts_with("fig") || fig == "all" || fig == "outset" => {
+            fig if fig.starts_with("fig") || fig == "all" || fig == "outset" || fig == "growth" => {
                 figures.push(fig.to_string())
             }
             other => {
@@ -76,7 +85,7 @@ fn parse_args() -> Opts {
     if figures.is_empty() {
         figures.push("all".to_string());
     }
-    Opts { figures, measure, pairs, outdir }
+    Opts { figures, measure, pairs, grow_adds, outdir }
 }
 
 fn main() {
@@ -119,12 +128,29 @@ fn main() {
     if want("outset") {
         outset_bench(&opts);
     }
+    if want("growth") {
+        growth_study(&opts);
+    }
 }
 
 /// Median-of-runs with one discarded warm-up run.
 fn measure(runs: usize, mut f: impl FnMut() -> Duration) -> Duration {
     let _warmup = f();
     median_duration(&run_repeated(runs, &mut f))
+}
+
+/// [`measure`], capturing the growth observables of the *last* run
+/// alongside the median wall clock (stats from "the median run" would be
+/// ill-defined; growth converges to similar shapes run over run).
+fn measure_growth(runs: usize, mut f: impl FnMut() -> GrowthStats) -> (Duration, GrowthStats) {
+    let mut stats = None;
+    let elapsed = measure(runs, || {
+        let s = f();
+        let e = s.elapsed;
+        stats = Some(s);
+        e
+    });
+    (elapsed, stats.expect("measure ran at least once"))
 }
 
 fn record_fanin(
@@ -424,6 +450,147 @@ fn outset_bench(opts: &Opts) {
         }
         print_row(&row);
     }
+    println!("# wrote {}", rep.path().display());
+}
+
+/// Growth-curve study of the adaptive lane table (the validation half of
+/// `docs/outset-contention.md`): (a) growth curve vs thread count —
+/// adds-until-first-split, converged lane count, split/race bookkeeping;
+/// (b) lanes-vs-contention across the split probability `p`; (c) the
+/// dag-level fanout broadcast with the hub's out-set probed; (d) the
+/// single-dependent footprint against the superseded fixed default.
+fn growth_study(opts: &Opts) {
+    let adds = opts.grow_adds.unwrap_or((opts.measure.n / 8).max(1 << 12));
+    let mut rep = Reporter::create(&opts.outdir, "growth").expect("results dir");
+    let workers = opts.measure.worker_counts();
+
+    println!("\n## Growth (raw) — adaptive outset from 1 lane, {adds} adds/thread, p=1/2");
+    print_row(&[
+        "threads".to_string(),
+        "Madds/s/core".to_string(),
+        "final lanes".to_string(),
+        "splits".to_string(),
+        "lost CASes".to_string(),
+        "adds@1st split".to_string(),
+    ]);
+    for &t in &workers {
+        let (elapsed, stats) = measure_growth(opts.measure.runs, || {
+            raw_growth_bench(t, adds, 1, GrowthPolicy::default())
+        });
+        let ops = t as u64 * adds;
+        let mut r = Record::new("growth-curve", "outset-tree-adaptive");
+        r.input("proc", t).input("adds", adds);
+        r.output("exectime", format!("{:.6}", elapsed.as_secs_f64()))
+            .output("throughput_per_core", format!("{:.1}", throughput_per_core(ops, elapsed, t)))
+            .output("final_lanes", stats.final_lanes)
+            .output("splits", stats.splits)
+            .output("install_races", stats.install_races)
+            .output(
+                "adds_to_first_split",
+                stats.adds_to_first_split.map_or("-".to_string(), |a| a.to_string()),
+            );
+        rep.record(&r);
+        print_row(&[
+            t.to_string(),
+            fmt_throughput(throughput_per_core(ops, elapsed, t)),
+            stats.final_lanes.to_string(),
+            stats.splits.to_string(),
+            stats.install_races.to_string(),
+            stats.adds_to_first_split.map_or("-".to_string(), |a| a.to_string()),
+        ]);
+    }
+
+    let w = opts.measure.max_workers;
+    println!("\n## Growth (raw) — lanes vs split probability at {w} threads, {adds} adds/thread");
+    print_row(&[
+        "p(split|lost CAS)".to_string(),
+        "Madds/s/core".to_string(),
+        "final lanes".to_string(),
+        "splits".to_string(),
+        "lost CASes".to_string(),
+    ]);
+    let max_lanes = GrowthPolicy::default_max_lanes();
+    for (name, p) in [
+        ("1", Probability::ALWAYS),
+        ("1/2", Probability::from_f64(0.5)),
+        ("1/8", Probability::one_over(8)),
+        ("1/32", Probability::one_over(32)),
+        ("0 (fixed 1 lane)", Probability::NEVER),
+    ] {
+        let policy = GrowthPolicy::new(p, max_lanes);
+        let (elapsed, stats) =
+            measure_growth(opts.measure.runs, || raw_growth_bench(w, adds, 1, policy));
+        let ops = w as u64 * adds;
+        let mut r = Record::new("growth-policy", "outset-tree-adaptive");
+        r.input("proc", w).input("adds", adds).input("p", name);
+        r.output("exectime", format!("{:.6}", elapsed.as_secs_f64()))
+            .output("throughput_per_core", format!("{:.1}", throughput_per_core(ops, elapsed, w)))
+            .output("final_lanes", stats.final_lanes)
+            .output("splits", stats.splits)
+            .output("install_races", stats.install_races);
+        rep.record(&r);
+        print_row(&[
+            name.to_string(),
+            fmt_throughput(throughput_per_core(ops, elapsed, w)),
+            stats.final_lanes.to_string(),
+            stats.splits.to_string(),
+            stats.install_races.to_string(),
+        ]);
+    }
+
+    let n = (opts.measure.n / 4).max(1 << 10);
+    println!("\n## Growth (dag) — fanout_broadcast hub probe, n={n}");
+    print_row(&[
+        "workers".to_string(),
+        "ops/s/core".to_string(),
+        "hub lanes".to_string(),
+        "splits".to_string(),
+        "lost CASes".to_string(),
+    ]);
+    for &w in &workers {
+        let cfg = DynConfig::with_threshold(Algo::default_threshold(w));
+        let (elapsed, stats) =
+            measure_growth(opts.measure.runs, || fanout_broadcast_probed::<DynSnzi>(cfg, w, n).1);
+        let mut r = Record::new("fanout-broadcast-growth", "outset-tree-adaptive");
+        r.input("proc", w).input("n", n);
+        r.output("exectime", format!("{:.6}", elapsed.as_secs_f64()))
+            .output(
+                "throughput_per_core",
+                format!("{:.1}", throughput_per_core(fanout_broadcast_ops(n), elapsed, w)),
+            )
+            .output("final_lanes", stats.final_lanes)
+            .output("splits", stats.splits)
+            .output("install_races", stats.install_races);
+        rep.record(&r);
+        print_row(&[
+            w.to_string(),
+            fmt_throughput(throughput_per_core(fanout_broadcast_ops(n), elapsed, w)),
+            stats.final_lanes.to_string(),
+            stats.splits.to_string(),
+            stats.install_races.to_string(),
+        ]);
+    }
+
+    println!("\n## Growth — single-dependent footprint (bytes of heap per out-set)");
+    let f = outset_footprint_report();
+    print_row(&["shape".to_string(), "fresh".to_string(), "after 1 add".to_string()]);
+    print_row(&[
+        "adaptive (1 lane)".to_string(),
+        f.adaptive_fresh.to_string(),
+        f.adaptive_one_add.to_string(),
+    ]);
+    print_row(&[
+        format!("fixed ({} lanes, superseded default)", f.fixed_lanes),
+        f.fixed_fresh.to_string(),
+        f.fixed_one_add.to_string(),
+    ]);
+    let mut r = Record::new("outset-footprint", "outset-tree-adaptive");
+    r.input("fixed_lanes", f.fixed_lanes);
+    r.output("adaptive_fresh_bytes", f.adaptive_fresh)
+        .output("adaptive_one_add_bytes", f.adaptive_one_add)
+        .output("fixed_fresh_bytes", f.fixed_fresh)
+        .output("fixed_one_add_bytes", f.fixed_one_add);
+    rep.record(&r);
     println!("# wrote {}", rep.path().display());
 }
 

@@ -1,15 +1,19 @@
 //! The paper's benchmark programs (Figures 6 and 7), the raw-counter
-//! microbenchmark of the SNZI reproduction study (Appendix C.1), and the
-//! out-set workloads extending the comparison to completion broadcast:
-//! [`fanout_broadcast`], [`pipeline_stages`] and [`raw_outset_bench`].
+//! microbenchmark of the SNZI reproduction study (Appendix C.1), the
+//! out-set workloads extending the comparison to completion broadcast —
+//! [`fanout_broadcast`], [`pipeline_stages`], [`raw_outset_bench`] — and
+//! the growth-curve study of the adaptive lane table
+//! ([`raw_growth_bench`], [`fanout_broadcast_probed`],
+//! [`outset_footprint_report`]) validating `docs/outset-contention.md`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use incounter::CounterFamily;
-use outset::{MutexOutset, OutsetFamily, TreeOutset};
-use snzi::FixedSnzi;
+use outset::tree::TreeOutsetObj;
+use outset::{GrowthPolicy, MutexOutset, OutsetFamily, TreeOutset};
+use snzi::{FixedSnzi, Probability};
 use spdag::{run_dag, Ctx, FutureHandle};
 
 /// Calibrated busy work: roughly `units` nanoseconds of arithmetic on this
@@ -102,6 +106,22 @@ pub fn fanout_broadcast<C: CounterFamily, O: OutsetFamily>(
     workers: usize,
     n: u64,
 ) -> Duration {
+    fanout_broadcast_run::<C, O>(cfg, workers, n, None)
+}
+
+/// Escape slot through which [`fanout_broadcast_run`] parks the hub
+/// future's handle for post-run probing.
+type HubEscape<O> = Arc<Mutex<Option<FutureHandle<u64, O>>>>;
+
+/// Shared body of [`fanout_broadcast`] and [`fanout_broadcast_probed`]:
+/// when `escape` is given, the hub future's handle is parked there so
+/// callers can probe its out-set after the run quiesces.
+fn fanout_broadcast_run<C: CounterFamily, O: OutsetFamily>(
+    cfg: C::Config,
+    workers: usize,
+    n: u64,
+    escape: Option<HubEscape<O>>,
+) -> Duration {
     run_dag::<C, _>(cfg, workers, move |mut ctx| {
         let registered = Arc::new(AtomicU64::new(0));
         let r = Arc::clone(&registered);
@@ -115,6 +135,9 @@ pub fn fanout_broadcast<C: CounterFamily, O: OutsetFamily>(
             }
             1u64
         });
+        if let Some(escape) = escape {
+            *escape.lock().unwrap() = Some(f.clone());
+        }
         let mut scope = ctx.into_scope();
         for _ in 0..n {
             let f = f.clone();
@@ -267,6 +290,154 @@ pub fn raw_outset_bench(kind: RawOutset, threads: usize, adds: u64) -> Duration 
     }
 }
 
+/// Everything one growth-curve run observes about the adaptive lane
+/// table (see `docs/outset-contention.md` for the quantities' roles in
+/// the accounting).
+#[derive(Clone, Copy, Debug)]
+pub struct GrowthStats {
+    /// Wall-clock time of the timed add phase (the sweep is excluded —
+    /// growth only affects the add path).
+    pub elapsed: Duration,
+    /// Lane-table size when the adders were done.
+    pub final_lanes: usize,
+    /// Successful table doublings.
+    pub splits: usize,
+    /// Lost block-install CASes — the contention events that fed the
+    /// growth coin. The accounting predicts `splits ≈ p · races` (each
+    /// loss flips once).
+    pub install_races: usize,
+    /// Total adds completed (across all threads) when the table was first
+    /// observed above one lane; `None` if it never grew.
+    pub adds_to_first_split: Option<u64>,
+}
+
+/// The raw growth-curve microbenchmark: `threads` threads each register
+/// `adds_per_thread` edges in one shared out-set that starts at
+/// `initial_lanes` under `policy` (1 for the adaptive curve; the policy
+/// cap for a "pre-grown" baseline), then one finish sweeps it. The
+/// adaptive counterpart of [`raw_outset_bench`]: it measures when (in
+/// adds) the table first splits, how far it converges, and what the
+/// transient costs, under contention that is real rather than assumed.
+pub fn raw_growth_bench(
+    threads: usize,
+    adds_per_thread: u64,
+    initial_lanes: usize,
+    policy: GrowthPolicy,
+) -> GrowthStats {
+    let set = Arc::new(TreeOutsetObj::with_policy(initial_lanes, policy));
+    let total_adds = Arc::new(AtomicU64::new(0));
+    let first_split = Arc::new(AtomicU64::new(u64::MAX));
+    // A policy that cannot split (p = 0, or already at its cap) gets no
+    // probe at all: pre-poison the latch so those baselines measure the
+    // pure add path.
+    if policy.probability() == Probability::NEVER
+        || initial_lanes.max(1).next_power_of_two() >= policy.max_lanes()
+    {
+        first_split.store(u64::MAX - 1, Ordering::Relaxed);
+    }
+    let elapsed = {
+        let set = Arc::clone(&set);
+        let total_adds = Arc::clone(&total_adds);
+        let first_split = Arc::clone(&first_split);
+        run_threads(threads, move |tid, barrier| {
+            let set = Arc::clone(&set);
+            let total_adds = Arc::clone(&total_adds);
+            let first_split = Arc::clone(&first_split);
+            move || {
+                barrier.wait();
+                for i in 0..adds_per_thread {
+                    let token = (tid as u64) * adds_per_thread + i;
+                    match set.add(token, tid as u64) {
+                        outset::AddEdge::Registered => {}
+                        outset::AddEdge::Finished(_) => unreachable!("unsealed"),
+                    }
+                    // The global add clock exists only to timestamp the
+                    // first split, and is itself a shared hot spot — so
+                    // stop touching it (and the probe) the moment the
+                    // split is pinned down, leaving the steady-state
+                    // throughput measurement probe-free.
+                    if first_split.load(Ordering::Relaxed) == u64::MAX {
+                        let done = total_adds.fetch_add(1, Ordering::Relaxed) + 1;
+                        if set.splits() > 0 {
+                            first_split.fetch_min(done, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        })
+    };
+    let mut delivered = 0u64;
+    assert!(set.finish(&mut |_| delivered += 1));
+    assert_eq!(delivered, threads as u64 * adds_per_thread);
+    let fs = first_split.load(Ordering::Relaxed);
+    GrowthStats {
+        elapsed,
+        final_lanes: set.lane_count(),
+        splits: set.splits(),
+        install_races: set.install_races(),
+        // Both u64::MAX (never observed) and the poison value count as
+        // "no timestamp".
+        adds_to_first_split: (fs < u64::MAX - 1).then_some(fs),
+    }
+}
+
+/// [`fanout_broadcast`] with the hub future's adaptive out-set probed
+/// after the run quiesced: the dag-level growth-curve data point. Returns
+/// the wall-clock time plus the hub's [`GrowthStats`] (with
+/// `adds_to_first_split` unavailable — the dag offers no global add
+/// clock).
+pub fn fanout_broadcast_probed<C: CounterFamily>(
+    cfg: C::Config,
+    workers: usize,
+    n: u64,
+) -> (Duration, GrowthStats) {
+    let escaped = Arc::new(Mutex::new(None::<FutureHandle<u64, TreeOutset>>));
+    let elapsed =
+        fanout_broadcast_run::<C, TreeOutset>(cfg, workers, n, Some(Arc::clone(&escaped)));
+    let handle = escaped.lock().unwrap().take().expect("hub handle escaped");
+    let set = handle.outset();
+    let stats = GrowthStats {
+        elapsed,
+        final_lanes: set.lane_count(),
+        splits: set.splits(),
+        install_races: set.install_races(),
+        adds_to_first_split: None,
+    };
+    (elapsed, stats)
+}
+
+/// Heap footprints contrasting the adaptive single-lane start against the
+/// superseded fixed default (hardware threads, capped at 16) — the
+/// "single-dependent futures pay one word" claim, in bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct FootprintReport {
+    /// A fresh adaptive out-set (1 lane, no blocks).
+    pub adaptive_fresh: usize,
+    /// An adaptive out-set holding one registered dependent.
+    pub adaptive_one_add: usize,
+    /// The fixed lane count the first iteration allocated up front.
+    pub fixed_lanes: usize,
+    /// A fresh fixed-lane out-set of that size.
+    pub fixed_fresh: usize,
+    /// The same, holding one registered dependent.
+    pub fixed_one_add: usize,
+}
+
+/// Measure [`FootprintReport`] on this machine.
+pub fn outset_footprint_report() -> FootprintReport {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let fixed_lanes = cores.next_power_of_two().min(16);
+    let adaptive = TreeOutsetObj::new();
+    let adaptive_fresh = adaptive.footprint_bytes();
+    let _ = adaptive.add(1, 0);
+    let adaptive_one_add = adaptive.footprint_bytes();
+    let fixed = TreeOutsetObj::with_lanes(fixed_lanes);
+    let fixed_fresh = fixed.footprint_bytes();
+    let _ = fixed.add(1, 0);
+    let fixed_one_add = fixed.footprint_bytes();
+    FootprintReport { adaptive_fresh, adaptive_one_add, fixed_lanes, fixed_fresh, fixed_one_add }
+}
+
 /// Which raw counter the SNZI reproduction study (Figure 12) exercises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RawCounter {
@@ -414,6 +585,45 @@ mod tests {
         assert_eq!(RawOutset::Mutex.name(), "outset-mutex");
         RawOutset::Tree.run_fanout(DynConfig::default(), 2, 100);
         RawOutset::Mutex.run_pipeline(DynConfig::default(), 2, 4, 8);
+    }
+
+    #[test]
+    fn raw_growth_bench_reports_consistent_stats() {
+        // Fixed policy: never splits, whatever the contention.
+        let s = raw_growth_bench(2, 3_000, 1, GrowthPolicy::fixed(1));
+        assert_eq!(s.final_lanes, 1);
+        assert_eq!(s.splits, 0);
+        assert_eq!(s.adds_to_first_split, None);
+        // Adaptive policy: splits (if any) stay within the cap, and the
+        // split/race bookkeeping is coherent.
+        let s = raw_growth_bench(4, 3_000, 1, GrowthPolicy::eager(8));
+        assert!(s.final_lanes <= 8);
+        assert_eq!(s.final_lanes, 1 << s.splits);
+        assert!(s.splits <= s.install_races, "every split was preceded by a lost CAS");
+        if s.final_lanes > 1 {
+            assert!(s.adds_to_first_split.is_some());
+        }
+    }
+
+    #[test]
+    fn fanout_probed_matches_plain_fanout_semantics() {
+        let (elapsed, stats) = fanout_broadcast_probed::<DynSnzi>(DynConfig::default(), 2, 300);
+        assert!(elapsed.as_nanos() > 0);
+        assert!(stats.final_lanes >= 1);
+        assert_eq!(stats.final_lanes, 1 << stats.splits);
+    }
+
+    #[test]
+    fn footprint_report_orders_as_documented() {
+        let r = outset_footprint_report();
+        assert!(r.adaptive_fresh <= r.fixed_fresh, "adaptive start must not cost more");
+        assert!(r.adaptive_one_add > r.adaptive_fresh, "one add allocates the first block");
+        if r.fixed_lanes > 1 {
+            assert!(
+                r.fixed_fresh > r.adaptive_fresh,
+                "a multi-lane fixed table costs more than the single-lane start"
+            );
+        }
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use snzi;
 pub use spdag;
 
 pub use incounter::{CounterFamily, DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
-pub use outset::{AddEdge, MutexOutset, OutsetFamily, TreeOutset};
+pub use outset::{AddEdge, GrowthPolicy, MutexOutset, OutsetFamily, TreeOutset};
 pub use snzi::Probability;
 pub use spdag::{run_dag, Ctx, DagRunStats, FutureHandle, Scope};
 

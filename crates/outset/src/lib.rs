@@ -32,6 +32,13 @@
 //! | [`TreeOutset`] | lane-hashed tree of slot blocks, one fetch-add + one CAS, O(1) amortized contention per add when keys spread | seal flag + per-slot swap sweep |
 //! | [`MutexOutset`] | global `Mutex<Vec>` push | lock, drain, deliver |
 //!
+//! The tree's lane table is **adaptive**: it starts at a single lane (a
+//! single-dependent future pays one word of lane metadata) and doubles
+//! under observed contention — an adder that loses its block-install CAS
+//! flips a [`GrowthPolicy`] coin, the out-set analogue of the in-counter's
+//! probabilistic `grow`. See [`tree`] for the mechanism and
+//! `docs/outset-contention.md` for the contention accounting.
+//!
 //! ```
 //! use outset::{AddEdge, OutsetFamily, TreeOutset};
 //!
@@ -44,12 +51,14 @@
 //! assert!(matches!(TreeOutset::add(&set, 7, 0), AddEdge::Finished(7)));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod growth;
 pub mod mutex;
 pub mod tree;
 
+pub use growth::GrowthPolicy;
 pub use mutex::MutexOutset;
 pub use tree::TreeOutset;
 
@@ -84,6 +93,16 @@ pub trait OutsetFamily: 'static {
 
     /// Create an empty, unsealed out-set.
     fn make() -> Self::Outset;
+
+    /// Create an empty, unsealed out-set pre-sized for an expected number
+    /// of dependents. A *hint*, never a bound: registering more (or
+    /// fewer) edges than hinted is always correct; implementations may
+    /// only use it to skip part of their adaptive warm-up. The default
+    /// ignores it.
+    fn make_hinted(expected_dependents: usize) -> Self::Outset {
+        let _ = expected_dependents;
+        Self::make()
+    }
 
     /// Register dependent-edge `token`. `key` spreads concurrent adders
     /// over internal structure (pass a worker/thread id or vertex
@@ -136,6 +155,26 @@ mod family_tests {
     #[test]
     fn mutex_family_contract() {
         exercise::<MutexOutset>();
+    }
+
+    #[test]
+    fn hinted_make_honours_the_contract() {
+        // The hint must not change semantics — register more edges than
+        // hinted, on both families, and still get exactly-once delivery.
+        fn exercise_hinted<F: OutsetFamily>(hint: usize) {
+            let set = F::make_hinted(hint);
+            for t in 0..200u64 {
+                assert_eq!(F::add(&set, t, t), AddEdge::Registered);
+            }
+            let mut got = Vec::new();
+            assert!(F::finish(&set, &mut |t| got.push(t)));
+            got.sort_unstable();
+            assert_eq!(got, (0..200u64).collect::<Vec<_>>());
+        }
+        for hint in [0, 1, 64, 100_000] {
+            exercise_hinted::<TreeOutset>(hint);
+            exercise_hinted::<MutexOutset>(hint);
+        }
     }
 
     #[test]

@@ -1,24 +1,56 @@
-//! The lock-free tree-of-blocks out-set.
+//! The lock-free tree-of-blocks out-set with an adaptive lane table.
 //!
 //! ## Structure
 //!
 //! ```text
-//!  TreeOutset
-//!  ├── sealed : AtomicBool            (the one-shot finish latch)
-//!  └── lanes[L]                       (L ≈ hardware threads, power of two)
-//!       └── head ──► Block ──► Block ──► ...   (per-lane list, newest first)
-//!                     ├ claimed : AtomicUsize  (slot cursor, may overshoot)
-//!                     └ slots[B] : AtomicU64   (EMPTY | SWEPT | token+2)
+//!  TreeOutsetObj
+//!  ├── sealed : AtomicBool             (the one-shot finish latch)
+//!  └── table ──► LaneTable { mask, lanes[L] }   (L grows 1, 2, 4, ...)
+//!                  └── lane ──► Block ──► Block ──► ...  (newest first)
+//!                                ├ claimed : AtomicUsize (slot cursor)
+//!                                └ slots[B] : AtomicU64  (EMPTY | SWEPT | token+2)
 //! ```
 //!
 //! An `add(token, key)` hashes `key` to a lane, claims a slot index with
 //! one `fetch_add` on the newest block's cursor (installing a fresh block
 //! by CAS when full), and publishes `token + 2` into the slot with one
-//! CAS. Because contending adders (distinct workers) hash to distinct
-//! lanes, the fetch-add hot spot is spread `L` ways — the out-set
-//! analogue of the in-counter's leaf spreading, giving O(1) amortized
-//! contention per add when keys are well distributed, and O(1) amortized
-//! work (one slot claim, one CAS, an allocation every `B` adds).
+//! CAS. Contending adders (distinct workers) hash to distinct lanes, so
+//! the fetch-add hot spot is spread `L` ways — the out-set analogue of
+//! the in-counter's leaf spreading.
+//!
+//! ## Adaptive growth
+//!
+//! Unlike the fixed lane array of the first iteration, the lane table
+//! **starts at one lane** — a single-dependent future pays one lane and
+//! one table entry, not a hardware-thread-sized array — and grows only
+//! under *observed* contention, the same pay-for-contention shape as the
+//! in-counter's probabilistic `grow`: when an adder loses the
+//! block-install CAS on its lane (direct evidence of a concurrent adder
+//! on the same lane), it flips a [`GrowthPolicy`] coin, and heads means
+//! "try to double the lane table". The adder then re-hashes against the
+//! (possibly) larger table, so a grower immediately escapes the collision
+//! that triggered it; every later adder re-hashes naturally on its own
+//! add. `docs/outset-contention.md` derives the expected per-add
+//! contention bound this policy buys.
+//!
+//! The table itself is an epoch-protected indirection (the vendored
+//! `crossbeam::epoch` shim): growth allocates a doubled table that
+//! **shares** the existing `Lane` allocations and appends fresh ones,
+//! installs it with one CAS on the table pointer, and retires the old
+//! table — just the pointer array, never the shared lanes — via
+//! `defer_unchecked`. Readers pin for the duration of one table access.
+//! Two invariants keep every racing party correct across a split:
+//!
+//! * **lanes are shared, never moved** — a slot claimed through an old
+//!   table lives in a `Lane` that every newer table also points to, so a
+//!   sweep through the newest table visits it;
+//! * **the lane set is monotone** — tables only append lanes, so the
+//!   sweep's table (loaded *after* the seal) contains every lane any
+//!   pre-seal adder could have reached through any historical table. An
+//!   adder that claims a slot through a lane installed after the sweep's
+//!   table load necessarily published after the seal, observes `sealed`
+//!   on its re-check, and resolves the race through the slot CAS like any
+//!   other late adder (below).
 //!
 //! ## The add/finish race, slot by slot
 //!
@@ -34,7 +66,8 @@
 //!   adder delivers its token inline ([`AddEdge::Finished`]).
 //! * publish succeeds and the re-check reads unsealed — in the seq-cst
 //!   total order the publish precedes the seal, hence precedes the whole
-//!   sweep, which therefore visits the slot and delivers it.
+//!   sweep, which therefore visits the slot (its lane is in the sweep's
+//!   table by monotonicity) and delivers it.
 //! * publish succeeds and the re-check reads sealed — the sweep may or
 //!   may not have passed this slot already, so exactly one side claims it
 //!   with a second CAS (`token+2 → SWEPT`): the adder winning means the
@@ -49,24 +82,31 @@
 //!
 //! ## Memory
 //!
-//! Blocks are freed in `Drop`. The out-set is expected to be shared via
-//! `Arc` by the completing vertex and all edge-adding handles, so no add
-//! or finish can race the destructor.
+//! `Lane`s and `Block`s are freed in `Drop`, through the newest table
+//! (which, by monotonicity, points to every lane ever allocated);
+//! superseded tables are freed by the epoch shim at quiescent instants.
+//! The out-set is expected to be shared via `Arc` by the completing
+//! vertex and all edge-adding handles, so no add or finish can race the
+//! destructor.
 
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
-use crate::{AddEdge, OutsetFamily};
+use crossbeam::epoch;
+use snzi::Probability;
+
+use crate::growth::BLOCK_SLOTS;
+use crate::{AddEdge, GrowthPolicy, OutsetFamily};
 
 /// Slot states: anything `>= TOKEN_BIAS` is a biased token.
 const EMPTY: u64 = 0;
 const SWEPT: u64 = 1;
 const TOKEN_BIAS: u64 = 2;
 
-/// Slots per block: a compromise between per-future footprint (futures
-/// with one or two dependents — pipelines — pay one ~300 B block per
-/// touched lane) and allocation amortization for fan-out-heavy
-/// broadcasts (one allocation per 32 adds).
-const BLOCK_SLOTS: usize = 32;
+// Slots per block (`BLOCK_SLOTS`, defined in `growth` so the hint
+// heuristic can use it): a compromise between per-future footprint
+// (futures with one or two dependents — pipelines — pay one ~300 B block
+// on their single lane) and allocation amortization for fan-out-heavy
+// broadcasts (one allocation per 32 adds).
 
 struct Block {
     /// Next-older block in this lane (immutable after installation).
@@ -92,45 +132,119 @@ struct Lane {
     head: AtomicPtr<Block>,
 }
 
+impl Lane {
+    fn boxed() -> *mut Lane {
+        Box::into_raw(Box::new(Lane { head: AtomicPtr::new(std::ptr::null_mut()) }))
+    }
+}
+
+/// One immutable snapshot of the lane array. Growth replaces the whole
+/// table (epoch-retiring the old one); the `Lane` allocations behind the
+/// pointers are shared between generations and owned by the newest table.
+struct LaneTable {
+    /// `lanes.len() - 1`; the length is always a power of two, so key
+    /// hashing is a mask.
+    mask: u64,
+    lanes: Box<[*mut Lane]>,
+}
+
+impl LaneTable {
+    fn boxed(lanes: Vec<*mut Lane>) -> *mut LaneTable {
+        debug_assert!(lanes.len().is_power_of_two());
+        let mask = lanes.len() as u64 - 1;
+        Box::into_raw(Box::new(LaneTable { mask, lanes: lanes.into_boxed_slice() }))
+    }
+
+    /// The lane `key` hashes to in this table generation.
+    ///
+    /// # Safety
+    /// The table must be alive (caller pinned, or has exclusive access);
+    /// the `Lane` itself outlives every table (freed only in `Drop`), so
+    /// the returned reference may be used after unpinning.
+    unsafe fn lane_for(&self, key: u64) -> &Lane {
+        // Fibonacci hash spreads dense keys (worker ids, addresses).
+        let mix = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let idx = ((mix >> 32) & self.mask) as usize;
+        // SAFETY: lanes are freed only in `Drop`, per the caller contract.
+        unsafe { &*self.lanes[idx] }
+    }
+}
+
 /// The lock-free tree-of-blocks out-set (see module docs).
 pub struct TreeOutsetObj {
     sealed: AtomicBool,
-    /// Power-of-two lane count, so key hashing is a mask.
-    lanes: Box<[Lane]>,
+    /// Current lane-table generation; swapped wholesale by growth and
+    /// protected by the epoch shim.
+    table: AtomicPtr<LaneTable>,
+    policy: GrowthPolicy,
+    /// Whether this out-set can ever split (a positive coin and headroom
+    /// under the cap), fixed at construction. When `false` the table
+    /// pointer is immutable for the object's whole life, so the add path
+    /// skips the epoch pin entirely — fixed-lane baselines and tables
+    /// born at their cap pay nothing for the growth machinery.
+    growable: bool,
+    /// Monotone mirror of the table size, so probes (and the growth cap
+    /// check) need no epoch pin.
+    lanes_approx: AtomicUsize,
+    /// Successful lane splits (diagnostic, see [`splits`](Self::splits)).
+    split_count: AtomicUsize,
+    /// Lost block-install CASes (diagnostic — the contention signal that
+    /// feeds the growth coin; see [`install_races`](Self::install_races)).
+    race_count: AtomicUsize,
 }
 
-// SAFETY: all shared state is atomics; Block pointers are published via
-// acquire/release (SeqCst) CAS and freed only in Drop (exclusive access).
+// SAFETY: all shared state is atomics; Lane/Block pointers are published
+// via SeqCst CAS and freed only in Drop (exclusive access); superseded
+// LaneTables are reclaimed through the epoch shim after every reader that
+// could hold them has unpinned.
 unsafe impl Send for TreeOutsetObj {}
 unsafe impl Sync for TreeOutsetObj {}
 
 impl TreeOutsetObj {
-    /// An out-set with the default lane count (hardware threads, rounded
-    /// up to a power of two, capped at 16). The thread count probe is
-    /// cached process-wide: out-sets are allocated once per future, and
-    /// `available_parallelism` can cost hundreds of microseconds under
-    /// containerized kernels.
+    /// An out-set with **one lane** and the default adaptive
+    /// [`GrowthPolicy`]: the cheapest possible start (single-dependent
+    /// futures never pay for spreading they don't need), growing under
+    /// observed contention up to the machine-derived cap.
     pub fn new() -> TreeOutsetObj {
-        use std::sync::OnceLock;
-        static DEFAULT_LANES: OnceLock<usize> = OnceLock::new();
-        let lanes = *DEFAULT_LANES.get_or_init(|| {
-            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-            cores.next_power_of_two().min(16)
-        });
-        TreeOutsetObj::with_lanes(lanes)
+        TreeOutsetObj::with_policy(1, GrowthPolicy::default())
     }
 
-    /// An out-set with an explicit lane count (rounded up to a power of
-    /// two; benchmarks use 1 to isolate the block machinery from the
-    /// spreading).
+    /// An out-set with a **fixed** lane count (rounded up to a power of
+    /// two) that never grows — the first iteration's behaviour, kept for
+    /// tests and benchmarks that isolate the block machinery or the
+    /// spreading from the adaptivity.
     pub fn with_lanes(lanes: usize) -> TreeOutsetObj {
         let lanes = lanes.max(1).next_power_of_two();
+        TreeOutsetObj::with_policy(lanes, GrowthPolicy::fixed(lanes))
+    }
+
+    /// An out-set with an explicit initial lane count and growth policy.
+    /// `initial_lanes` is rounded up to a power of two and clamped to the
+    /// policy's cap. An out-set that can never split — a `NEVER` coin, or
+    /// a table born at its cap — is frozen outright (even
+    /// [`force_split`](Self::force_split) refuses), which lets its add
+    /// path skip the epoch pin.
+    pub fn with_policy(initial_lanes: usize, policy: GrowthPolicy) -> TreeOutsetObj {
+        let initial = initial_lanes.max(1).next_power_of_two().min(policy.max_lanes());
+        let lanes: Vec<*mut Lane> = (0..initial).map(|_| Lane::boxed()).collect();
+        let growable = initial < policy.max_lanes() && policy.probability() != Probability::NEVER;
         TreeOutsetObj {
             sealed: AtomicBool::new(false),
-            lanes: (0..lanes)
-                .map(|_| Lane { head: AtomicPtr::new(std::ptr::null_mut()) })
-                .collect(),
+            table: AtomicPtr::new(LaneTable::boxed(lanes)),
+            policy,
+            growable,
+            lanes_approx: AtomicUsize::new(initial),
+            split_count: AtomicUsize::new(0),
+            race_count: AtomicUsize::new(0),
         }
+    }
+
+    /// An out-set pre-sized for an expected dependent count, growth still
+    /// enabled past the hint (see
+    /// [`GrowthPolicy::initial_lanes_for_hint`]).
+    pub fn with_fanout_hint(expected_dependents: usize) -> TreeOutsetObj {
+        let policy = GrowthPolicy::default();
+        TreeOutsetObj::with_policy(policy.initial_lanes_for_hint(expected_dependents), policy)
     }
 
     /// Register `token`; see [`OutsetFamily::add`] for the contract.
@@ -139,10 +253,7 @@ impl TreeOutsetObj {
         if self.sealed.load(Ordering::SeqCst) {
             return AddEdge::Finished(token);
         }
-        // Fibonacci hash spreads dense keys (worker ids, addresses).
-        let mix = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        let lane = &self.lanes[(mix >> 32) as usize & (self.lanes.len() - 1)];
-        let slot = self.claim_slot(lane);
+        let slot = self.claim_slot(key);
         let biased = token + TOKEN_BIAS;
         if slot.compare_exchange(EMPTY, biased, Ordering::SeqCst, Ordering::SeqCst).is_err() {
             // The sweep resolved this slot before we published.
@@ -158,9 +269,21 @@ impl TreeOutsetObj {
         AddEdge::Registered
     }
 
-    /// Claim one slot in `lane`, growing the block list as needed.
-    fn claim_slot(&self, lane: &Lane) -> &AtomicU64 {
+    /// Claim one slot in `key`'s lane, growing the block list — and,
+    /// under a lost install CAS plus a heads coin flip, the lane table —
+    /// as needed.
+    fn claim_slot(&self, key: u64) -> &AtomicU64 {
+        // A non-growable table is immutable and kept alive by `&self`, so
+        // only growable out-sets pay the epoch pin.
+        let guard = self.growable.then(epoch::pin);
         loop {
+            // Re-read the table every round: a split (ours or a
+            // competitor's) re-hashes the key over more lanes.
+            let table_ptr = self.table.load(Ordering::SeqCst);
+            // SAFETY: either pinned (tables are retired through the epoch
+            // shim, so `table_ptr` cannot be freed before `guard` drops)
+            // or the table is immutable for this object's life.
+            let lane = unsafe { (*table_ptr).lane_for(key) };
             let head = lane.head.load(Ordering::SeqCst);
             if !head.is_null() {
                 // SAFETY: blocks are freed only in Drop, and `&self` keeps
@@ -179,8 +302,79 @@ impl TreeOutsetObj {
                 // Lost the install race; reclaim and retry on the winner.
                 // SAFETY: `fresh` was never published.
                 drop(unsafe { Box::from_raw(fresh) });
+                // A lost CAS is direct evidence of a concurrent adder on
+                // this lane: flip the split coin (the adaptive analogue
+                // of the in-counter's per-increment grow coin).
+                self.race_count.fetch_add(1, Ordering::Relaxed);
+                if let Some(guard) = &guard {
+                    if self.policy.flip() {
+                        self.try_split(guard, table_ptr);
+                    }
+                }
             }
         }
+    }
+
+    /// Attempt to double the lane table from the generation `old` (loaded
+    /// under `guard`). Loses silently to concurrent splits; no-op at the
+    /// policy cap or once sealed.
+    fn try_split(&self, guard: &epoch::Guard, old: *mut LaneTable) {
+        if !self.growable {
+            // A NEVER coin (or a table born at its cap) promised the add
+            // path an immutable table; splitting here — reachable via
+            // `force_split` — would break that promise.
+            return;
+        }
+        // SAFETY: `old` was loaded while `guard` was pinned, so its
+        // retirement (by a competing split) is deferred past this call.
+        let old_ref = unsafe { &*old };
+        let old_len = old_ref.lanes.len();
+        if old_len >= self.policy.max_lanes() || self.sealed.load(Ordering::SeqCst) {
+            // Post-seal growth would be correct (the monotone-lane
+            // argument doesn't care) but can only waste memory.
+            return;
+        }
+        // The doubled generation shares every existing lane and appends
+        // fresh ones, so claimed slots never move.
+        let mut lanes = Vec::with_capacity(old_len * 2);
+        lanes.extend_from_slice(&old_ref.lanes);
+        lanes.extend((0..old_len).map(|_| Lane::boxed()));
+        let fresh = LaneTable::boxed(lanes);
+        match self.table.compare_exchange(old, fresh, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                self.lanes_approx.fetch_max(old_len * 2, Ordering::Relaxed);
+                self.split_count.fetch_add(1, Ordering::Relaxed);
+                // Retire the superseded table — the pointer array only;
+                // the lanes it shares with `fresh` live on.
+                // SAFETY: `old` is unlinked (the CAS succeeded), so no new
+                // reader can acquire it; current readers hold pins, which
+                // is exactly what the deferral waits out. The closure
+                // frees only the LaneTable box (raw lane pointers have no
+                // drop glue).
+                unsafe { guard.defer_unchecked(move || drop(Box::from_raw(old))) };
+            }
+            Err(_) => {
+                // A competitor split first; discard our never-published
+                // generation and the fresh lanes only it knew about.
+                // SAFETY: `fresh` was never published; lanes beyond
+                // `old_len` were allocated above and shared with nobody.
+                let table = unsafe { Box::from_raw(fresh) };
+                for &lane in &table.lanes[old_len..] {
+                    drop(unsafe { Box::from_raw(lane) });
+                }
+            }
+        }
+    }
+
+    /// Split the lane table once, unconditionally (subject to the policy
+    /// cap). A deterministic handle on the growth machinery for tests and
+    /// the footprint study; returns whether a split happened.
+    pub fn force_split(&self) -> bool {
+        let guard = epoch::pin();
+        let before = self.split_count.load(Ordering::Relaxed);
+        let old = self.table.load(Ordering::SeqCst);
+        self.try_split(&guard, old);
+        self.split_count.load(Ordering::Relaxed) != before
     }
 
     /// Seal and sweep; see [`OutsetFamily::finish`] for the contract.
@@ -188,7 +382,15 @@ impl TreeOutsetObj {
         if self.sealed.swap(true, Ordering::SeqCst) {
             return false;
         }
-        for lane in self.lanes.iter() {
+        let guard = epoch::pin();
+        // Loaded after the seal: by lane-set monotonicity this table
+        // contains every lane a pre-seal adder could have claimed through.
+        let table_ptr = self.table.load(Ordering::SeqCst);
+        // SAFETY: pinned; see `claim_slot`.
+        let table = unsafe { &*table_ptr };
+        for &lane_ptr in table.lanes.iter() {
+            // SAFETY: lanes are freed only in Drop.
+            let lane = unsafe { &*lane_ptr };
             let mut head = lane.head.load(Ordering::SeqCst);
             while !head.is_null() {
                 // SAFETY: as in `claim_slot`.
@@ -205,6 +407,7 @@ impl TreeOutsetObj {
                 head = block.next;
             }
         }
+        drop(guard);
         true
     }
 
@@ -213,11 +416,33 @@ impl TreeOutsetObj {
         self.sealed.load(Ordering::SeqCst)
     }
 
+    /// Current lane count (a racy but monotone snapshot, read without
+    /// pinning — the growth-curve probe).
+    pub fn lane_count(&self) -> usize {
+        self.lanes_approx.load(Ordering::Relaxed)
+    }
+
+    /// Successful lane splits so far (diagnostic).
+    pub fn splits(&self) -> usize {
+        self.split_count.load(Ordering::Relaxed)
+    }
+
+    /// Lost block-install CASes observed so far — the contention events
+    /// that fed the growth coin (diagnostic; `docs/outset-contention.md`
+    /// predicts `splits ≈ p · install_races` and the harness checks it).
+    pub fn install_races(&self) -> usize {
+        self.race_count.load(Ordering::Relaxed)
+    }
+
     /// Number of blocks currently allocated (test/diagnostic aid).
     pub fn block_count(&self) -> usize {
+        let _guard = epoch::pin();
+        let table_ptr = self.table.load(Ordering::SeqCst);
+        // SAFETY: pinned; lanes/blocks freed only in Drop.
+        let table = unsafe { &*table_ptr };
         let mut n = 0;
-        for lane in self.lanes.iter() {
-            let mut head = lane.head.load(Ordering::SeqCst);
+        for &lane_ptr in table.lanes.iter() {
+            let mut head = unsafe { (*lane_ptr).head.load(Ordering::SeqCst) };
             while !head.is_null() {
                 n += 1;
                 // SAFETY: as in `claim_slot`.
@@ -225,6 +450,21 @@ impl TreeOutsetObj {
             }
         }
         n
+    }
+
+    /// Bytes of heap currently held (table + lanes + blocks), plus the
+    /// object itself — the footprint-study probe. Quiescent use only (the
+    /// walk is racy under concurrent growth).
+    pub fn footprint_bytes(&self) -> usize {
+        let _guard = epoch::pin();
+        let table_ptr = self.table.load(Ordering::SeqCst);
+        // SAFETY: pinned; see `block_count`.
+        let table = unsafe { &*table_ptr };
+        std::mem::size_of::<Self>()
+            + std::mem::size_of::<LaneTable>()
+            + table.lanes.len() * std::mem::size_of::<*mut Lane>()
+            + table.lanes.len() * std::mem::size_of::<Lane>()
+            + self.block_count() * std::mem::size_of::<Block>()
     }
 }
 
@@ -236,11 +476,19 @@ impl Default for TreeOutsetObj {
 
 impl Drop for TreeOutsetObj {
     fn drop(&mut self) {
-        for lane in self.lanes.iter_mut() {
+        // Exclusive access: free through the newest table, which by
+        // monotonicity points to every lane (and thus block) ever
+        // allocated. Superseded tables are not ours to free — the epoch
+        // shim owns them.
+        let table_ptr = *self.table.get_mut();
+        // SAFETY: the current table is unlinked by this very drop; every
+        // lane pointer in it was leaked from a Box in `with_policy` or
+        // `try_split`, and every block from `claim_slot`.
+        let table = unsafe { Box::from_raw(table_ptr) };
+        for &lane_ptr in table.lanes.iter() {
+            let mut lane = unsafe { Box::from_raw(lane_ptr) };
             let mut head = *lane.head.get_mut();
             while !head.is_null() {
-                // SAFETY: exclusive access in Drop; every block was leaked
-                // from a Box in `claim_slot`.
                 let block = unsafe { Box::from_raw(head) };
                 head = block.next;
             }
@@ -259,6 +507,10 @@ impl OutsetFamily for TreeOutset {
         TreeOutsetObj::new()
     }
 
+    fn make_hinted(expected_dependents: usize) -> TreeOutsetObj {
+        TreeOutsetObj::with_fanout_hint(expected_dependents)
+    }
+
     fn add(out: &TreeOutsetObj, token: u64, key: u64) -> AddEdge {
         out.add(token, key)
     }
@@ -275,6 +527,18 @@ impl OutsetFamily for TreeOutset {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fresh_outset_allocates_exactly_one_lane() {
+        // The acceptance criterion of the adaptive redesign: creation
+        // pays for no contention it has not seen.
+        let set = TreeOutsetObj::new();
+        assert_eq!(set.lane_count(), 1);
+        assert_eq!(set.block_count(), 0);
+        assert_eq!(set.splits(), 0);
+        let set = TreeOutset::make();
+        assert_eq!(set.lane_count(), 1);
+    }
 
     #[test]
     fn blocks_grow_and_free() {
@@ -304,11 +568,101 @@ mod tests {
     }
 
     #[test]
-    fn lane_count_rounds_to_power_of_two() {
-        let set = TreeOutsetObj::with_lanes(3);
-        assert_eq!(set.lanes.len(), 4);
-        let set = TreeOutsetObj::with_lanes(0);
-        assert_eq!(set.lanes.len(), 1);
+    fn with_lanes_rounds_and_never_grows() {
+        for (ask, want) in [(0usize, 1usize), (1, 1), (2, 2), (3, 4), (5, 8), (6, 8), (16, 16)] {
+            let set = TreeOutsetObj::with_lanes(ask);
+            assert_eq!(set.lane_count(), want, "with_lanes({ask})");
+            assert!(!set.force_split(), "with_lanes({ask}) must stay fixed");
+            assert_eq!(set.lane_count(), want);
+        }
+    }
+
+    #[test]
+    fn with_policy_clamps_initial_to_cap() {
+        let set = TreeOutsetObj::with_policy(64, GrowthPolicy::eager(4));
+        assert_eq!(set.lane_count(), 4);
+        let set = TreeOutsetObj::with_policy(0, GrowthPolicy::eager(4));
+        assert_eq!(set.lane_count(), 1);
+    }
+
+    #[test]
+    fn never_coin_freezes_even_with_headroom() {
+        // A NEVER policy promises the add path an immutable table, so
+        // force_split must refuse even though the cap leaves room.
+        let set = TreeOutsetObj::with_policy(1, GrowthPolicy::fixed(8));
+        assert!(!set.force_split());
+        assert_eq!(set.lane_count(), 1);
+        // Born at the cap: frozen too, whatever the coin.
+        let set = TreeOutsetObj::with_policy(8, GrowthPolicy::eager(8));
+        assert!(!set.force_split());
+        assert_eq!(set.lane_count(), 8);
+    }
+
+    #[test]
+    fn force_split_doubles_until_cap() {
+        let set = TreeOutsetObj::with_policy(1, GrowthPolicy::eager(8));
+        for want in [2usize, 4, 8] {
+            assert!(set.force_split());
+            assert_eq!(set.lane_count(), want);
+        }
+        assert!(!set.force_split(), "capped at max_lanes");
+        assert_eq!(set.lane_count(), 8);
+        assert_eq!(set.splits(), 3);
+    }
+
+    #[test]
+    fn tokens_survive_splits_exactly_once() {
+        // Claim slots through three different table generations, then
+        // sweep: the newest table must reach every block (lane sharing).
+        let set = TreeOutsetObj::with_policy(1, GrowthPolicy::eager(16));
+        let mut expect = Vec::new();
+        let mut token = 0u64;
+        for round in 0..4 {
+            for k in 0..(2 * BLOCK_SLOTS as u64) {
+                assert_eq!(set.add(token, k), AddEdge::Registered);
+                expect.push(token);
+                token += 1;
+            }
+            if round < 3 {
+                assert!(set.force_split());
+            }
+        }
+        assert_eq!(set.lane_count(), 8);
+        let mut got = Vec::new();
+        assert!(set.finish(&mut |t| got.push(t)));
+        got.sort_unstable();
+        assert_eq!(got, expect, "every token from every generation, exactly once");
+    }
+
+    #[test]
+    fn split_after_seal_is_refused() {
+        let set = TreeOutsetObj::with_policy(1, GrowthPolicy::eager(8));
+        assert!(set.finish(&mut |_| {}));
+        assert!(!set.force_split());
+        assert_eq!(set.lane_count(), 1);
+    }
+
+    #[test]
+    fn fanout_hint_presizes_within_cap() {
+        let set = TreeOutsetObj::with_fanout_hint(1);
+        assert_eq!(set.lane_count(), 1, "single-dependent hint takes the fast path");
+        let set = TreeOutsetObj::with_fanout_hint(10_000);
+        assert!(set.lane_count() > 1, "broadcast hint pre-spreads");
+        assert!(set.lane_count() <= GrowthPolicy::default_max_lanes());
+    }
+
+    #[test]
+    fn footprint_starts_small_and_tracks_growth() {
+        let fresh = TreeOutsetObj::new();
+        let one_lane = fresh.footprint_bytes();
+        let _ = fresh.add(7, 0);
+        let after_add = fresh.footprint_bytes();
+        assert!(after_add > one_lane, "first add allocates the first block");
+        let wide = TreeOutsetObj::with_lanes(16);
+        assert!(
+            wide.footprint_bytes() > one_lane,
+            "a 16-lane table must cost more than the adaptive start"
+        );
     }
 
     #[test]

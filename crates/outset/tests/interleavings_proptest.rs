@@ -13,8 +13,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
-use outset::{AddEdge, MutexOutset, OutsetFamily, TreeOutset};
+use outset::tree::TreeOutsetObj;
+use outset::{AddEdge, GrowthPolicy, MutexOutset, OutsetFamily, TreeOutset};
 use proptest::prelude::*;
+use snzi::Probability;
 
 #[derive(Debug, Clone, Copy)]
 enum Step {
@@ -155,5 +157,76 @@ proptest! {
     ) {
         let total = threads as u64 * adds;
         drive_concurrent::<MutexOutset>(threads, adds, total * frac / 100);
+    }
+}
+
+/// As `drive_concurrent`, on a concrete tree with a strategy-chosen
+/// growth policy, so the add ∥ grow ∥ finish triangle is explored across
+/// the whole policy space (never/sometimes/always split, tight and loose
+/// caps, pre-grown and single-lane starts).
+fn drive_concurrent_growth(
+    threads: usize,
+    adds: u64,
+    finish_after: u64,
+    initial_lanes: usize,
+    policy: GrowthPolicy,
+) {
+    let set = Arc::new(TreeOutsetObj::with_policy(initial_lanes, policy));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let done_adds = Arc::new(AtomicU64::new(0));
+    let inline = Arc::new(Mutex::new(Vec::new()));
+    let swept = std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let set = Arc::clone(&set);
+            let barrier = Arc::clone(&barrier);
+            let done_adds = Arc::clone(&done_adds);
+            let inline = Arc::clone(&inline);
+            scope.spawn(move || {
+                barrier.wait();
+                let mut mine = Vec::new();
+                for i in 0..adds {
+                    let token = tid as u64 * adds + i;
+                    if let AddEdge::Finished(t) = set.add(token, tid as u64) {
+                        mine.push(t);
+                    }
+                    done_adds.fetch_add(1, Ordering::Relaxed);
+                }
+                inline.lock().unwrap().extend(mine);
+            });
+        }
+        barrier.wait();
+        while done_adds.load(Ordering::Relaxed) < finish_after {
+            std::hint::spin_loop();
+        }
+        let mut swept = Vec::new();
+        assert!(set.finish(&mut |t| swept.push(t)));
+        swept
+    });
+    let inline = Arc::try_unwrap(inline).unwrap().into_inner().unwrap();
+    let mut all = swept;
+    all.extend(&inline);
+    all.sort_unstable();
+    assert_eq!(all, (0..threads as u64 * adds).collect::<Vec<_>>());
+    assert!(set.lane_count() <= policy.max_lanes(), "growth respects the cap");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn concurrent_races_growth_policies(
+        threads in 1usize..5,
+        adds in 1u64..600,
+        frac in 0u64..100,
+        initial in 1usize..4,
+        p_percent in prop_oneof![Just(0u64), Just(25), Just(50), Just(100)],
+        max_lanes in 1usize..17,
+    ) {
+        let total = threads as u64 * adds;
+        let policy = GrowthPolicy::new(
+            Probability::from_f64(p_percent as f64 / 100.0),
+            max_lanes,
+        );
+        drive_concurrent_growth(threads, adds, total * frac / 100, initial, policy);
     }
 }

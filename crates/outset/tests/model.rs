@@ -8,7 +8,8 @@
 
 use std::sync::{Arc, Barrier, Mutex};
 
-use outset::{AddEdge, MutexOutset, OutsetFamily, TreeOutset};
+use outset::tree::TreeOutsetObj;
+use outset::{AddEdge, GrowthPolicy, MutexOutset, OutsetFamily, TreeOutset};
 
 /// Spawn `threads` adders racing one finisher; return (swept, inline).
 fn race<F: OutsetFamily>(
@@ -133,6 +134,137 @@ fn concurrent_double_finish_single_seal() {
         let mut all: Vec<u64> = results.into_iter().flat_map(|(_, v)| v).collect();
         all.sort_unstable();
         assert_eq!(all, (0..256u64).collect::<Vec<_>>());
+    }
+}
+
+/// Like `race`, but on a concrete `TreeOutsetObj` so the growth policy
+/// and probes are in play: `threads` adders race one finisher on a set
+/// built by `make`; exactly-once over swept ∪ inline is asserted.
+fn race_tree(
+    make: impl Fn() -> TreeOutsetObj,
+    threads: usize,
+    adds: u64,
+    delay: u64,
+) -> TreeOutsetObj {
+    let set = Arc::new(make());
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let inline = Arc::new(Mutex::new(Vec::new()));
+    let swept = std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let set = Arc::clone(&set);
+            let barrier = Arc::clone(&barrier);
+            let inline = Arc::clone(&inline);
+            scope.spawn(move || {
+                barrier.wait();
+                let mut mine = Vec::new();
+                for i in 0..adds {
+                    let token = (tid as u64) * adds + i;
+                    if let AddEdge::Finished(t) = set.add(token, tid as u64) {
+                        mine.push(t);
+                    }
+                }
+                inline.lock().unwrap().extend(mine);
+            });
+        }
+        barrier.wait();
+        for _ in 0..delay {
+            std::hint::spin_loop();
+        }
+        let mut swept = Vec::new();
+        assert!(set.finish(&mut |t| swept.push(t)), "first finish must seal");
+        swept
+    });
+    let inline = Arc::try_unwrap(inline).unwrap().into_inner().unwrap();
+    let mut all = swept;
+    all.extend(&inline);
+    all.sort_unstable();
+    assert_eq!(all, (0..threads as u64 * adds).collect::<Vec<_>>(), "exactly-once across race");
+    Arc::try_unwrap(set).ok().expect("all clones joined")
+}
+
+#[test]
+fn growth_races_preserve_exactly_once() {
+    // The add ∥ grow ∥ finish triangle: an eager policy splits on every
+    // lost CAS, so table swaps race both the claim path and the sweep.
+    // Exactly-once must hold whether or not growth fired in a given run.
+    for &(threads, adds, delay) in
+        &[(2usize, 2000u64, 0u64), (4, 2000, 0), (4, 1000, 50_000), (8, 500, 10_000)]
+    {
+        for _ in 0..8 {
+            let set = race_tree(
+                || TreeOutsetObj::with_policy(1, GrowthPolicy::eager(16)),
+                threads,
+                adds,
+                delay,
+            );
+            assert!(set.lane_count() <= 16);
+            assert_eq!(set.splits(), set.lane_count().trailing_zeros() as usize);
+        }
+    }
+}
+
+#[test]
+fn lane1_fast_path_add_finish_race() {
+    // The new default start: one lane, growth disabled — the add/finish
+    // slot protocol alone (no spreading, no table swaps) must already be
+    // exactly-once under the heaviest interleaving pressure.
+    for &(threads, adds, delay) in &[(2usize, 3000u64, 0u64), (4, 1500, 20_000), (8, 800, 0)] {
+        for _ in 0..8 {
+            let set = race_tree(|| TreeOutsetObj::with_lanes(1), threads, adds, delay);
+            assert_eq!(set.lane_count(), 1, "fixed policy must never split");
+        }
+    }
+}
+
+#[test]
+fn concurrent_force_splits_race_adders_and_finisher() {
+    // Dedicated split hammer threads drive the table through every
+    // generation while adders and a finisher run — the most table swaps
+    // per token the structure can experience.
+    for _ in 0..10 {
+        let set = Arc::new(TreeOutsetObj::with_policy(1, GrowthPolicy::eager(32)));
+        let barrier = Arc::new(Barrier::new(4));
+        let inline = Arc::new(Mutex::new(Vec::new()));
+        let adds = 1500u64;
+        let swept = std::thread::scope(|scope| {
+            for tid in 0..2u64 {
+                let set = Arc::clone(&set);
+                let barrier = Arc::clone(&barrier);
+                let inline = Arc::clone(&inline);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut mine = Vec::new();
+                    for i in 0..adds {
+                        if let AddEdge::Finished(t) = set.add(tid * adds + i, tid) {
+                            mine.push(t);
+                        }
+                    }
+                    inline.lock().unwrap().extend(mine);
+                });
+            }
+            {
+                let set = Arc::clone(&set);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    while set.force_split() {
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+            barrier.wait();
+            for _ in 0..5_000 {
+                std::hint::spin_loop();
+            }
+            let mut swept = Vec::new();
+            assert!(set.finish(&mut |t| swept.push(t)));
+            swept
+        });
+        let inline = Arc::try_unwrap(inline).unwrap().into_inner().unwrap();
+        let mut all = swept;
+        all.extend(&inline);
+        all.sort_unstable();
+        assert_eq!(all, (0..2 * adds).collect::<Vec<_>>());
     }
 }
 

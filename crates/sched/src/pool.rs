@@ -25,7 +25,7 @@
 //! notifier: publish, fence, check announcements), plus a bounded wait as
 //! belt and braces, so wakeups cannot be lost.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -121,12 +121,35 @@ pub struct WorkerCtx<'a, T: Word> {
     tasks: Cell<u64>,
     steals: Cell<u64>,
     parks: Cell<u64>,
+    /// This worker's private pseudo-random stream. Victim selection draws
+    /// from it, and it is exposed ([`rng_u64`](WorkerCtx::rng_u64) /
+    /// [`rng_below`](WorkerCtx::rng_below)) so workload and bench code
+    /// can get per-worker randomness from the context that already owns
+    /// worker identity. (Layers below the scheduler — e.g. the out-set's
+    /// growth coin — cannot see a `WorkerCtx` and keep their own
+    /// per-thread streams, which coincide with per-worker streams since
+    /// workers are threads.)
+    rng: RefCell<VictimRng>,
 }
 
 impl<'a, T: Word> WorkerCtx<'a, T> {
     /// This worker's index in `0..num_workers`.
     pub fn worker_id(&self) -> usize {
         self.id
+    }
+
+    /// Draw one uniform 64-bit value from this worker's private stream
+    /// (distinct workers are seeded apart). Task bodies can use this for
+    /// coin flips and spreading keys without touching thread-local
+    /// storage or sharing generator state across workers.
+    pub fn rng_u64(&self) -> u64 {
+        self.rng.borrow_mut().next_u64()
+    }
+
+    /// Uniform value in `[0, n)` from this worker's stream; `n` must be
+    /// non-zero.
+    pub fn rng_below(&self, n: usize) -> usize {
+        self.rng.borrow_mut().next_below(n)
     }
 
     /// Total number of workers in the pool.
@@ -180,7 +203,7 @@ impl<'a, T: Word> WorkerCtx<'a, T> {
 
 const STEAL_ATTEMPTS_PER_ROUND: usize = 4;
 
-fn worker_loop<T, F>(ctx: &WorkerCtx<'_, T>, f: &F, rng: &mut VictimRng)
+fn worker_loop<T, F>(ctx: &WorkerCtx<'_, T>, f: &F)
 where
     T: Word,
     F: Fn(&WorkerCtx<'_, T>, T) + Sync,
@@ -199,7 +222,7 @@ where
         let mut stolen = None;
         'rounds: for _ in 0..STEAL_ATTEMPTS_PER_ROUND {
             for _ in 0..n {
-                let victim = if n == 1 { 0 } else { rng.next_below(n) };
+                let victim = if n == 1 { 0 } else { ctx.rng_below(n) };
                 if victim == ctx.id && n > 1 {
                     continue;
                 }
@@ -297,9 +320,9 @@ where
                         tasks: Cell::new(0),
                         steals: Cell::new(0),
                         parks: Cell::new(0),
+                        rng: RefCell::new(VictimRng::new(0x853C_49E6_748F_EA9B ^ (id as u64 + 1))),
                     };
-                    let mut rng = VictimRng::new(0x853C_49E6_748F_EA9B ^ (id as u64 + 1));
-                    worker_loop(&ctx, f, &mut rng);
+                    worker_loop(&ctx, f);
                     (ctx.tasks.get(), ctx.steals.get(), ctx.parks.get())
                 })
             })
@@ -401,6 +424,20 @@ mod tests {
             ctx.push_batch(std::iter::empty());
         });
         assert_eq!(executed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn per_worker_rng_is_seeded_apart_and_in_range() {
+        let draws = Mutex::new(std::collections::HashMap::<usize, u64>::new());
+        run(4, (0..100usize).collect(), Termination::Quiesce, |ctx, _| {
+            assert!(ctx.rng_below(7) < 7);
+            draws.lock().entry(ctx.worker_id()).or_insert_with(|| ctx.rng_u64());
+        });
+        let draws = draws.into_inner();
+        let mut firsts: Vec<u64> = draws.values().copied().collect();
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), draws.len(), "distinct workers draw from distinct streams");
     }
 
     #[test]

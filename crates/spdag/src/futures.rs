@@ -39,6 +39,18 @@
 //! operations, with the broadcast cost paid once per future, linear in
 //! the number of dependents swept.
 //!
+//! ## Footprint: futures request the single-lane fast path
+//!
+//! Every future asks its out-set family for the **single-dependent
+//! shape** ([`outset::OutsetFamily::make_hinted`] with hint 1): under the
+//! adaptive [`TreeOutset`] this is one lane — one word of lane metadata —
+//! and the lane table grows only if that future's dependents actually
+//! contend (`docs/outset-contention.md` derives the bound). Derived
+//! futures ([`Ctx::future_then`], [`Ctx::future_join`]) do the same:
+//! pipeline and wavefront interior vertices overwhelmingly have one or
+//! two dependents. A future that is *known* to be a broadcast hub can
+//! declare it with [`Ctx::future_fanout`] and skip the growth transient.
+//!
 //! ## Caveat: deadlock is expressible
 //!
 //! Unlike pure series-parallel composition, runtime edges can express
@@ -147,6 +159,14 @@ impl<T: Send + Sync + 'static, O: OutsetFamily> FutureHandle<T, O> {
     {
         ctx.touch(self, then);
     }
+
+    /// The future's completion out-set (diagnostic): how the growth-curve
+    /// tests and the bench harness probe lane counts and footprints of
+    /// out-sets embedded in a real dag run. Reading it never perturbs the
+    /// protocol — all probes on the tree out-set are racy snapshots.
+    pub fn outset(&self) -> &O::Outset {
+        &self.core.outset
+    }
 }
 
 impl<'a, C: CounterFamily> Ctx<'a, C> {
@@ -156,7 +176,24 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
     /// Does **not** end the current vertex: like
     /// [`Scope::fork`](crate::Scope::fork), the body keeps running as the
     /// continuation, and may create more futures or finish with
-    /// spawn/chain/touch.
+    /// spawn/chain/touch. The future's out-set starts in the
+    /// single-dependent shape and adapts if its dependents contend (see
+    /// the module docs).
+    ///
+    /// ```
+    /// use incounter::{DynConfig, DynSnzi};
+    /// use spdag::run_dag;
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use std::sync::Arc;
+    ///
+    /// let out = Arc::new(AtomicU64::new(0));
+    /// let o = Arc::clone(&out);
+    /// run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+    ///     let f = ctx.future(|_| 6u64 * 7);
+    ///     ctx.touch(&f, move |_, v| o.store(*v, Ordering::Relaxed));
+    /// });
+    /// assert_eq!(out.load(Ordering::Relaxed), 42);
+    /// ```
     pub fn future<T, F>(&mut self, body: F) -> FutureHandle<T, TreeOutset>
     where
         T: Send + Sync + 'static,
@@ -174,7 +211,59 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         T: Send + Sync + 'static,
         F: for<'b> FnOnce(Ctx<'b, C>) -> T + Send + 'static,
     {
-        self.future_raw::<O, T, _>(move |c, set_value| {
+        self.future_fanout_in::<O, T, F>(1, body)
+    }
+
+    /// As [`future`](Ctx::future), declaring an expected number of
+    /// dependents. A hint, never a bound — touching the future more (or
+    /// less) often than declared is always correct; the out-set merely
+    /// pre-spreads so a known broadcast hub skips the adaptive growth
+    /// transient ([`outset::OutsetFamily::make_hinted`]).
+    ///
+    /// ```
+    /// use incounter::{DynConfig, DynSnzi};
+    /// use spdag::run_dag;
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use std::sync::Arc;
+    ///
+    /// let hits = Arc::new(AtomicU64::new(0));
+    /// let h = Arc::clone(&hits);
+    /// run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+    ///     // Hub with many dependents: declare the fan-out up front.
+    ///     let f = ctx.future_fanout(256, |_| 1u64);
+    ///     let mut scope = ctx.into_scope();
+    ///     for _ in 0..256 {
+    ///         let (f, h) = (f.clone(), Arc::clone(&h));
+    ///         scope.fork(move |c| {
+    ///             c.touch(&f, move |_, v| {
+    ///                 h.fetch_add(*v, Ordering::Relaxed);
+    ///             });
+    ///         });
+    ///     }
+    /// });
+    /// assert_eq!(hits.load(Ordering::Relaxed), 256);
+    /// ```
+    pub fn future_fanout<T, F>(&mut self, expected_dependents: usize, body: F) -> FutureHandle<T>
+    where
+        T: Send + Sync + 'static,
+        F: for<'b> FnOnce(Ctx<'b, C>) -> T + Send + 'static,
+    {
+        self.future_fanout_in::<TreeOutset, T, F>(expected_dependents, body)
+    }
+
+    /// [`future_fanout`](Ctx::future_fanout) with an explicit out-set
+    /// family.
+    pub fn future_fanout_in<O, T, F>(
+        &mut self,
+        expected_dependents: usize,
+        body: F,
+    ) -> FutureHandle<T, O>
+    where
+        O: OutsetFamily,
+        T: Send + Sync + 'static,
+        F: for<'b> FnOnce(Ctx<'b, C>) -> T + Send + 'static,
+    {
+        self.future_raw::<O, T, _>(expected_dependents, move |c, set_value| {
             let value = body(c);
             set_value(value);
         })
@@ -185,14 +274,16 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
     /// returning the value, so combinators can produce the value inside
     /// nested touch continuations — which belong to the future's own
     /// finish scope and therefore always precede completion.
-    fn future_raw<O, T, F>(&mut self, body: F) -> FutureHandle<T, O>
+    /// `fanout_hint` sizes the out-set for the expected dependent count
+    /// (1 = the single-dependent fast path).
+    fn future_raw<O, T, F>(&mut self, fanout_hint: usize, body: F) -> FutureHandle<T, O>
     where
         O: OutsetFamily,
         T: Send + Sync + 'static,
         F: for<'b> FnOnce(Ctx<'b, C>, Box<dyn FnOnce(T) + Send>) + Send + 'static,
     {
         let core = Arc::new(FutureCore::<T, O> {
-            outset: O::make(),
+            outset: O::make_hinted(fanout_hint),
             value: UnsafeCell::new(None),
             completed: AtomicBool::new(false),
         });
@@ -257,6 +348,22 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
 
     /// [`future_then_in`](Ctx::future_then_in) with the default
     /// ([`TreeOutset`]) broadcast structure for the derived future.
+    ///
+    /// ```
+    /// use incounter::{DynConfig, DynSnzi};
+    /// use spdag::run_dag;
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use std::sync::Arc;
+    ///
+    /// let out = Arc::new(AtomicU64::new(0));
+    /// let o = Arc::clone(&out);
+    /// run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+    ///     let a = ctx.future(|_| 5u64);
+    ///     let b = ctx.future_then(&a, |_, v| v * 10); // pipeline stage
+    ///     ctx.touch(&b, move |_, v| o.store(*v, Ordering::Relaxed));
+    /// });
+    /// assert_eq!(out.load(Ordering::Relaxed), 50);
+    /// ```
     pub fn future_then<A, T, OA, F>(
         &mut self,
         input: &FutureHandle<A, OA>,
@@ -273,6 +380,23 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
 
     /// [`future_join_in`](Ctx::future_join_in) with the default
     /// ([`TreeOutset`]) broadcast structure for the derived future.
+    ///
+    /// ```
+    /// use incounter::{DynConfig, DynSnzi};
+    /// use spdag::run_dag;
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use std::sync::Arc;
+    ///
+    /// let out = Arc::new(AtomicU64::new(0));
+    /// let o = Arc::clone(&out);
+    /// run_dag::<DynSnzi, _>(DynConfig::default(), 3, move |mut ctx| {
+    ///     let a = ctx.future(|_| 40u64);
+    ///     let b = ctx.future(|_| 2u64);
+    ///     let j = ctx.future_join(&a, &b, |_, x, y| x + y); // wavefront cell
+    ///     ctx.touch(&j, move |_, v| o.store(*v, Ordering::Relaxed));
+    /// });
+    /// assert_eq!(out.load(Ordering::Relaxed), 42);
+    /// ```
     pub fn future_join<A, B, T, OA, OB, F>(
         &mut self,
         left: &FutureHandle<A, OA>,
@@ -306,7 +430,8 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         F: for<'b> FnOnce(Ctx<'b, C>, &A) -> T + Send + 'static,
     {
         let input = input.clone();
-        self.future_raw::<O, T, _>(move |c, set_value| {
+        // Derived pipeline stages are single-dependent in the common case.
+        self.future_raw::<O, T, _>(1, move |c, set_value| {
             c.touch(&input, move |c2, a| {
                 let value = f(c2, a);
                 set_value(value);
@@ -334,7 +459,10 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
     {
         let left = left.clone();
         let right = right.clone();
-        self.future_raw::<O, T, _>(move |c, set_value| {
+        // A join vertex, like a pipeline stage, usually feeds one
+        // dependent; its own fan-*in* (the two touches below) lands on
+        // the input futures' out-sets, not on this one.
+        self.future_raw::<O, T, _>(1, move |c, set_value| {
             let left2 = left.clone();
             c.touch(&left, move |c2, _a| {
                 c2.touch(&right, move |c3, b| {
@@ -353,6 +481,26 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
     /// inherits this vertex's obligations in its scope — its enclosing
     /// finish waits for it, exactly as for a [`chain`](Ctx::chain)
     /// continuation.
+    ///
+    /// Touching an already-completed future degrades to a plain
+    /// continuation push (the edge is satisfied; the continuation is
+    /// scheduled inline):
+    ///
+    /// ```
+    /// use incounter::{DynConfig, DynSnzi};
+    /// use spdag::run_dag;
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// use std::sync::Arc;
+    ///
+    /// let out = Arc::new(AtomicU64::new(0));
+    /// let o = Arc::clone(&out);
+    /// run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+    ///     let f = ctx.future(|_| 9u64);
+    ///     while !f.is_done() {} // force the post-completion path
+    ///     ctx.touch(&f, move |_, v| o.store(*v, Ordering::Relaxed));
+    /// });
+    /// assert_eq!(out.load(Ordering::Relaxed), 9);
+    /// ```
     pub fn touch<T, O, K>(self, future: &FutureHandle<T, O>, then: K)
     where
         T: Send + Sync + 'static,
@@ -461,6 +609,102 @@ mod tests {
             r.store(1, Ordering::Release);
         });
         assert_eq!(out.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn single_dependent_future_stays_on_one_lane() {
+        // The adaptive footprint claim, end to end: a pipeline of
+        // single-dependent futures never grows any lane table.
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+            let a = ctx.future(|_| 1u64);
+            assert_eq!(a.outset().lane_count(), 1, "fresh future = 1 lane");
+            let b = ctx.future_then(&a, |_, v| v + 1);
+            let c3 = ctx.future_then(&b, |_, v| v + 1);
+            let (a2, b2, c2) = (a.clone(), b.clone(), c3.clone());
+            ctx.touch(&c3, move |_, v| {
+                o.store(*v, Ordering::Relaxed);
+                for (h, name) in [(&a2, "a"), (&b2, "b"), (&c2, "c")] {
+                    assert_eq!(h.outset().lane_count(), 1, "future {name} must not grow");
+                    assert_eq!(h.outset().splits(), 0);
+                }
+            });
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn fanout_broadcast_observably_grows_lane_table() {
+        // The acceptance criterion of the adaptive redesign: under a
+        // fanout-broadcast workload at ≥ 4 workers, the hub future's lane
+        // table must grow past its single-lane start (probed via
+        // lane_count). Growth needs *observed* contention — real CAS
+        // losses — so a run on a quiet machine may not collide; retry a
+        // few times and require one growing run. An eager policy future
+        // (EagerTree below) splits on the first loss, keeping the
+        // requirement minimal.
+        struct EagerTree;
+        impl OutsetFamily for EagerTree {
+            type Outset = outset::tree::TreeOutsetObj;
+            const NAME: &'static str = "outset-tree-eager";
+            fn make() -> Self::Outset {
+                outset::tree::TreeOutsetObj::with_policy(1, outset::GrowthPolicy::eager(16))
+            }
+            fn add(out: &Self::Outset, token: u64, key: u64) -> AddEdge {
+                out.add(token, key)
+            }
+            fn finish(out: &Self::Outset, sink: &mut dyn FnMut(u64)) -> bool {
+                out.finish(sink)
+            }
+            fn is_finished(out: &Self::Outset) -> bool {
+                out.is_finished()
+            }
+        }
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+            eprintln!("skipping: single hardware thread cannot produce CAS races reliably");
+            return;
+        }
+        let workers = 4;
+        let n = 4000u64;
+        for attempt in 0..5 {
+            // Smuggle the handle out so the lane table is probed after the
+            // run quiesced (growth happens while the touches race).
+            let escaped = Arc::new(std::sync::Mutex::new(None::<FutureHandle<u64, EagerTree>>));
+            let l = Arc::clone(&escaped);
+            run_dag::<DynSnzi, _>(DynConfig::default(), workers, move |mut ctx| {
+                let registered = Arc::new(AtomicU64::new(0));
+                let r = Arc::clone(&registered);
+                // The hub completes only after all touches landed, so the
+                // contended registration path is what's measured.
+                let f = ctx.future_in::<EagerTree, _, _>(move |_| {
+                    while r.load(Ordering::Acquire) < n {
+                        std::hint::spin_loop();
+                    }
+                    1u64
+                });
+                *l.lock().unwrap() = Some(f.clone());
+                let mut scope = ctx.into_scope();
+                for _ in 0..n {
+                    let f = f.clone();
+                    let registered = Arc::clone(&registered);
+                    scope.fork(move |c| {
+                        c.touch(&f, |_, v| {
+                            std::hint::black_box(*v);
+                        });
+                        registered.fetch_add(1, Ordering::Release);
+                    });
+                }
+            });
+            let handle = escaped.lock().unwrap().take().expect("handle escaped");
+            let grown = handle.outset().lane_count();
+            if grown > 1 {
+                assert!(handle.outset().splits() >= 1);
+                return; // observably grew — acceptance met
+            }
+            eprintln!("attempt {attempt}: no contention observed (lanes={grown}), retrying");
+        }
+        panic!("lane table never grew across 5 fanout_broadcast runs at 4 workers");
     }
 
     #[test]

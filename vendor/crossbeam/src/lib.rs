@@ -4,23 +4,60 @@
 //!
 //! ## Reclamation model
 //!
-//! Instead of full epoch-based reclamation, the shim tracks one global pin
-//! count and a queue of deferred destructors. A destructor runs only at a
-//! moment when the pin count is **zero**, observed while holding the queue
-//! lock (under which all enqueues also happen, and enqueuers are pinned).
-//! This is strictly more conservative than epochs: a deferred destructor
-//! enqueued while some guard `g` was pinned cannot run before `g` drops,
-//! because the count cannot reach zero earlier. The cost is laziness —
-//! under permanent pinning pressure garbage accumulates until the next
-//! quiescent instant (and anything still queued at process exit is simply
-//! never freed, which the OS reclaims).
+//! Instead of full epoch-based reclamation, the shim tracks a pin count and
+//! a queue of deferred destructors. A destructor runs only at a moment when
+//! the pin count is **zero**, observed while holding the queue lock (under
+//! which all enqueues also happen, and enqueuers are pinned). This is
+//! strictly more conservative than epochs: a deferred destructor enqueued
+//! while some guard `g` was pinned cannot run before `g` drops, because the
+//! count cannot reach zero earlier. The cost is laziness — under permanent
+//! pinning pressure garbage accumulates until the next quiescent instant
+//! (and anything still queued at process exit is simply never freed, which
+//! the OS reclaims).
+//!
+//! ## Contention
+//!
+//! The pin count is **striped**: each thread hashes onto one of
+//! [`epoch::PIN_STRIPES`] cache-line-padded counters, so `pin`/`unpin` from
+//! `W` threads cost two read-modify-writes on a line shared by `≈ W/S`
+//! threads rather than all `W` — this matters because the out-set's
+//! adaptive lane table pins once per `add` on its hot path (see
+//! `docs/outset-contention.md`, which accounts for this term). Quiescence
+//! is observed by scanning every stripe under the queue lock; the safety
+//! argument is per-guard: a guard alive when a destructor was enqueued
+//! either is still alive when its stripe is scanned (non-zero read, so the
+//! collection aborts) or has already dropped (and no longer accesses the
+//! retired memory). Stripes are scanned only under the lock that also
+//! serializes enqueues, so no destructor enqueued mid-scan can join the
+//! batch being collected.
 
 pub mod epoch {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
-    static PINS: AtomicUsize = AtomicUsize::new(0);
+    /// Number of cache-line-padded pin-count stripes.
+    pub const PIN_STRIPES: usize = 16;
+
+    #[repr(align(128))]
+    struct Stripe(AtomicUsize);
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const STRIPE_INIT: Stripe = Stripe(AtomicUsize::new(0));
+    static PINS: [Stripe; PIN_STRIPES] = [STRIPE_INIT; PIN_STRIPES];
     static GARBAGE: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
+    /// Mirror of `GARBAGE.len()`, so the unpin fast path can skip the
+    /// queue mutex entirely when nothing is deferred. With per-thread
+    /// stripes almost every unpin takes its stripe to zero, so without
+    /// this check every unpin — i.e. every out-set `add` — would acquire
+    /// the one global lock.
+    static GARBAGE_COUNT: AtomicUsize = AtomicUsize::new(0);
+    static STRIPE_SEED: AtomicUsize = AtomicUsize::new(0);
+
+    std::thread_local! {
+        /// This thread's stripe index, assigned round-robin at first pin.
+        static MY_STRIPE: usize =
+            STRIPE_SEED.fetch_add(1, Ordering::Relaxed) % PIN_STRIPES;
+    }
 
     /// A deferred destructor. The `Send` promise is the caller's (that is
     /// what makes [`Guard::defer_unchecked`] unsafe, exactly as upstream).
@@ -30,13 +67,15 @@ pub mod epoch {
     /// An RAII pin on the current "epoch": deferred destructors enqueued
     /// while any guard is alive will not run until no guard is alive.
     pub struct Guard {
+        stripe: usize,
         _not_send: std::marker::PhantomData<*mut ()>,
     }
 
     /// Pin the current thread.
     pub fn pin() -> Guard {
-        PINS.fetch_add(1, Ordering::SeqCst);
-        Guard { _not_send: std::marker::PhantomData }
+        let stripe = MY_STRIPE.with(|s| *s);
+        PINS[stripe].0.fetch_add(1, Ordering::SeqCst);
+        Guard { stripe, _not_send: std::marker::PhantomData }
     }
 
     impl Guard {
@@ -52,6 +91,10 @@ pub mod epoch {
             // caller's contract above (upstream has the same obligation).
             let boxed: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(boxed) };
             GARBAGE.lock().unwrap().push(Deferred(boxed));
+            // Count *after* enqueuing (and while still pinned): an unpin
+            // that misses this increment at worst skips a collection that
+            // the enqueuer's own unpin will re-attempt.
+            GARBAGE_COUNT.fetch_add(1, Ordering::SeqCst);
         }
 
         /// Encourage collection (a no-op beyond what [`Drop`] already does).
@@ -60,24 +103,29 @@ pub mod epoch {
 
     impl Drop for Guard {
         fn drop(&mut self) {
-            if PINS.fetch_sub(1, Ordering::SeqCst) == 1 {
+            if PINS[self.stripe].0.fetch_sub(1, Ordering::SeqCst) == 1
+                && GARBAGE_COUNT.load(Ordering::SeqCst) != 0
+            {
                 collect();
             }
         }
     }
 
     fn collect() {
-        // Re-check the pin count *under the lock*: enqueues happen under
-        // this lock and only from pinned threads, so observing zero here
-        // proves every queued destructor's stragglers are gone.
+        // Re-check every stripe *under the lock*: enqueues happen under
+        // this lock and only from pinned threads. A guard alive at some
+        // enqueue either still holds its stripe non-zero when scanned
+        // (abort) or has already dropped; either way no destructor in the
+        // batch can race a guard that protected it.
         let batch: Vec<Deferred> = {
             let mut q = match GARBAGE.lock() {
                 Ok(q) => q,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            if PINS.load(Ordering::SeqCst) != 0 || q.is_empty() {
+            if q.is_empty() || PINS.iter().any(|s| s.0.load(Ordering::SeqCst) != 0) {
                 return;
             }
+            GARBAGE_COUNT.fetch_sub(q.len(), Ordering::SeqCst);
             std::mem::take(&mut *q)
         };
         for Deferred(f) in batch {
@@ -122,6 +170,36 @@ pub mod epoch {
             drop(a);
             assert!(!ran.load(Ordering::SeqCst));
             drop(b);
+            assert!(ran.load(Ordering::SeqCst));
+        }
+
+        #[test]
+        fn cross_stripe_guard_blocks_collection() {
+            // A guard pinned on *another thread* (hence, typically, another
+            // stripe) must still hold back destructors deferred here.
+            let _serial = TEST_LOCK.lock().unwrap();
+            let ran = Arc::new(AtomicBool::new(false));
+            let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+            let (pinned_tx, pinned_rx) = std::sync::mpsc::channel::<()>();
+            let remote = std::thread::spawn(move || {
+                let g = pin();
+                pinned_tx.send(()).unwrap();
+                hold_rx.recv().unwrap();
+                drop(g);
+            });
+            pinned_rx.recv().unwrap();
+            {
+                let g = pin();
+                let r = Arc::clone(&ran);
+                unsafe { g.defer_unchecked(move || r.store(true, Ordering::SeqCst)) };
+            }
+            assert!(
+                !ran.load(Ordering::SeqCst),
+                "remote guard was alive at enqueue; must block collection"
+            );
+            hold_tx.send(()).unwrap();
+            remote.join().unwrap();
+            // The remote unpin was the last: it collected.
             assert!(ran.load(Ordering::SeqCst));
         }
     }

@@ -5,7 +5,7 @@ use std::ops::Range;
 use crate::rng::TestRng;
 use crate::strategy::Strategy;
 
-/// Length distribution for a [`vec`] strategy.
+/// Length distribution for a [`vec()`] strategy.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     min: usize,
@@ -31,7 +31,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
