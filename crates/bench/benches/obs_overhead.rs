@@ -1,0 +1,46 @@
+//! Telemetry overhead guard (docs/observability.md): the dag-level
+//! fanout broadcast — the workload whose hot path carries the densest
+//! probe coverage (outset add/seal/sweep, spdag touch/future, sched
+//! steal) — measured under whatever feature set the build selected.
+//!
+//! Run it twice and compare:
+//!
+//! ```text
+//! cargo bench -p dynsnzi-bench --bench obs_overhead                        # telemetry on
+//! cargo bench -p dynsnzi-bench --bench obs_overhead --no-default-features  # compiled out
+//! ```
+//!
+//! The benchmark id embeds the mode (`telemetry` / `compiled-out`), so
+//! both runs can live in one criterion history. Target: the `telemetry`
+//! build stays within 2% of `compiled-out` (the hot path adds one
+//! relaxed fetch_add per probe and one relaxed load per trace gate).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynsnzi_bench::workloads::{fanout_broadcast, fanout_broadcast_ops};
+use dynsnzi_bench::Algo;
+use incounter::{DynConfig, DynSnzi};
+use outset::TreeOutset;
+
+const FANOUT_N: u64 = 1 << 14;
+
+fn bench(c: &mut Criterion) {
+    let workers = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
+    let mode = if obs::enabled() { "telemetry" } else { "compiled-out" };
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for &w in &[1usize, workers] {
+        g.throughput(Throughput::Elements(fanout_broadcast_ops(FANOUT_N)));
+        g.bench_with_input(BenchmarkId::new(format!("fanout/{mode}"), w), &w, |b, &w| {
+            let cfg = DynConfig::with_threshold(Algo::default_threshold(w));
+            b.iter(|| fanout_broadcast::<DynSnzi, TreeOutset>(cfg, w, FANOUT_N))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,7 +1,14 @@
 //! The evaluation harness: regenerates every figure of the paper.
 //!
 //! ```text
-//! harness <fig8|...|fig15|outset|growth|all> [flags]
+//! harness <fig8|...|fig15|outset|growth|all|obs|trace> [flags]
+//!
+//! `obs` and `trace` are telemetry subcommands (never part of `all`):
+//! `obs` prints one unified registry snapshot of a fanout-broadcast run
+//! (with `--assert-bound` it also recomputes the paper's per-add
+//! contention bound and fails if violated); `trace` records the run and
+//! writes Chrome Trace Event Format JSON to `--out` (see
+//! `docs/observability.md`).
 //!
 //! flags:
 //!   --n <N>            benchmark size (default: 131072; paper: 8388608)
@@ -12,6 +19,8 @@
 //!   --outdir <DIR>     where results/*.txt go (default ./results)
 //!   --paper            use the paper's n = 8M
 //!   --quick            tiny sizes for a smoke run
+//!   --assert-bound     (obs) fail unless the contention bounds hold
+//!   --out <FILE>       (trace) trace destination (default results/trace.json)
 //! ```
 //!
 //! Each figure prints a human-readable series table (same axes as the
@@ -24,9 +33,9 @@ use std::time::Duration;
 use dynsnzi_bench::report::{fmt_throughput, print_row, Record, Reporter};
 use dynsnzi_bench::sweep::{median_duration, run_repeated, throughput_per_core, MeasureOpts};
 use dynsnzi_bench::workloads::{
-    calibrate_dummy_unit_ns, fanin_ops, fanout_broadcast_ops, fanout_broadcast_probed,
-    indegree2_ops, outset_footprint_report, pipeline_stages_ops, raw_counter_bench,
-    raw_growth_bench, raw_outset_bench, GrowthStats, RawCounter, RawOutset,
+    calibrate_dummy_unit_ns, fanin_ops, fanout_broadcast, fanout_broadcast_ops,
+    fanout_broadcast_probed, indegree2_ops, outset_footprint_report, pipeline_stages_ops,
+    raw_counter_bench, raw_growth_bench, raw_outset_bench, GrowthStats, RawCounter, RawOutset,
 };
 use dynsnzi_bench::Algo;
 use incounter::{DynConfig, DynSnzi};
@@ -39,6 +48,8 @@ struct Opts {
     pairs: u64,
     grow_adds: Option<u64>,
     outdir: PathBuf,
+    assert_bound: bool,
+    trace_out: PathBuf,
 }
 
 fn parse_args() -> Opts {
@@ -47,6 +58,8 @@ fn parse_args() -> Opts {
     let mut pairs = 200_000u64;
     let mut grow_adds = None;
     let mut outdir = PathBuf::from("results");
+    let mut assert_bound = false;
+    let mut trace_out = PathBuf::from("results/trace.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -63,6 +76,8 @@ fn parse_args() -> Opts {
                 grow_adds = Some(args.next().expect("--grow-adds A").parse().expect("numeric"))
             }
             "--outdir" => outdir = PathBuf::from(args.next().expect("--outdir DIR")),
+            "--assert-bound" => assert_bound = true,
+            "--out" => trace_out = PathBuf::from(args.next().expect("--out FILE")),
             "--paper" => measure = measure.paper_scale(),
             "--quick" => {
                 measure.n = 1 << 12;
@@ -73,7 +88,9 @@ fn parse_args() -> Opts {
                 println!("see module docs: harness <fig8..fig15|all> [--n N] [--runs R] ...");
                 std::process::exit(0);
             }
-            fig if fig.starts_with("fig") || fig == "all" || fig == "outset" || fig == "growth" => {
+            fig if fig.starts_with("fig")
+                || matches!(fig, "all" | "outset" | "growth" | "obs" | "trace") =>
+            {
                 figures.push(fig.to_string())
             }
             other => {
@@ -85,7 +102,7 @@ fn parse_args() -> Opts {
     if figures.is_empty() {
         figures.push("all".to_string());
     }
-    Opts { figures, measure, pairs, grow_adds, outdir }
+    Opts { figures, measure, pairs, grow_adds, outdir, assert_bound, trace_out }
 }
 
 fn main() {
@@ -130,6 +147,135 @@ fn main() {
     }
     if want("growth") {
         growth_study(&opts);
+    }
+    // The telemetry subcommands run only when named: `all` reproduces
+    // the paper's figures, which these are not.
+    let explicit = |f: &str| opts.figures.iter().any(|g| g == f);
+    if explicit("obs") {
+        obs_cmd(&opts);
+    }
+    if explicit("trace") {
+        trace_cmd(&opts);
+    }
+}
+
+/// `harness obs`: run the fanout broadcast with the whole runtime's
+/// telemetry registry live, print the unified before/after snapshot
+/// (counters from snzi, incounter, outset, sched, and spdag in one
+/// table), and with `--assert-bound` recompute the contention bounds of
+/// `docs/observability.md` from those counters, exiting non-zero on any
+/// violation.
+fn obs_cmd(opts: &Opts) {
+    let w = opts.measure.max_workers;
+    let n = (opts.measure.n / 4).max(1 << 10);
+    println!("\n## Telemetry snapshot — fanout_broadcast, n={n}, workers={w}");
+    let before = obs::Snapshot::take();
+    let cfg = DynConfig::with_threshold(Algo::default_threshold(w));
+    let (elapsed, growth) = fanout_broadcast_probed::<DynSnzi>(cfg, w, n);
+    let d = obs::Snapshot::take().diff(&before);
+    print!("{}", d.render());
+    println!(
+        "# wall clock {:.6}s; hub converged to {} lanes after {} splits",
+        elapsed.as_secs_f64(),
+        growth.final_lanes,
+        growth.splits
+    );
+    if opts.assert_bound && !check_contention_bounds(&d, w) {
+        std::process::exit(1);
+    }
+}
+
+/// Recompute the paper's Section-4-style amortized contention bound for
+/// the out-set from one snapshot diff (derivation and counter-to-term
+/// mapping: `docs/observability.md`). Exact structural invariants are
+/// checked hard; the amortized bound holds in expectation, so it gets a
+/// generous slack factor. Returns whether everything passed.
+fn check_contention_bounds(d: &obs::Snapshot, workers: usize) -> bool {
+    if !obs::enabled() || d.is_empty() {
+        println!("--assert-bound: telemetry compiled out; nothing to check");
+        return true;
+    }
+    let adds = d.counter("outset.adds");
+    let bounced = d.counter("outset.adds_bounced");
+    let swept = d.counter("outset.swept");
+    let created = d.counter("outset.created");
+    let splits = d.counter("outset.splits");
+    let lost = d.counter("outset.lost_cas");
+    let cap = GrowthPolicy::default_max_lanes() as u64;
+    // Lane counts double from 1 toward the cap: log2(cap) splits per set.
+    let log_cap = u64::from(cap.trailing_zeros()).max(1);
+
+    let mut all_ok = true;
+    let mut check = |name: &str, pass: bool, detail: String| {
+        println!("  [{}] {name}: {detail}", if pass { "ok  " } else { "FAIL" });
+        all_ok &= pass;
+    };
+    check(
+        "conservation",
+        adds == bounced + swept,
+        format!("adds {adds} == bounced {bounced} + swept {swept}"),
+    );
+    check(
+        "split-cap",
+        splits <= created * log_cap,
+        format!("splits {splits} <= created {created} x log2(cap) {log_cap}"),
+    );
+    check(
+        "serial-quiet",
+        workers > 1 || (lost == 0 && splits == 0),
+        format!("workers {workers}: lost {lost}, splits {splits}"),
+    );
+    check("split-needs-loss", splits <= lost, format!("splits {splits} <= lost CASes {lost}"));
+    // Amortized per-add contention: a slot claim can lose to at most
+    // W-1 rivals racing the same 32-slot block tail, so expected losses
+    // are O(adds * (W-1) / B) plus the O(log cap) growth transient per
+    // set. x4 slack absorbs the in-expectation part.
+    const BLOCK_SLOTS: u64 = 32; // outset::growth::BLOCK_SLOTS
+    const SLACK: u64 = 4;
+    let bound = SLACK * (adds * (workers as u64 - 1)).div_ceil(BLOCK_SLOTS)
+        + 2 * created * log_cap
+        + BLOCK_SLOTS;
+    check(
+        "amortized-lost-cas",
+        lost <= bound,
+        format!("lost {lost} <= {bound} (4*adds*(W-1)/B + 2*created*log2(cap) + B)"),
+    );
+    if lost > 0 {
+        println!(
+            "  [info] splits/lost = {:.3} (policy flips a p = 1/2 coin per lost CAS)",
+            splits as f64 / lost as f64
+        );
+    }
+    println!("# --assert-bound: {}", if all_ok { "PASS" } else { "FAIL" });
+    all_ok
+}
+
+/// `harness trace`: record one fanout broadcast with event tracing
+/// enabled and write it as Chrome Trace Event Format JSON (loadable in
+/// `chrome://tracing` or Perfetto).
+fn trace_cmd(opts: &Opts) {
+    let w = opts.measure.max_workers;
+    let n = (opts.measure.n / 4).max(1 << 10);
+    println!("\n## Event trace — fanout_broadcast, n={n}, workers={w}");
+    obs::trace::enable();
+    let cfg = DynConfig::with_threshold(Algo::default_threshold(w));
+    let elapsed = fanout_broadcast::<DynSnzi, outset::TreeOutset>(cfg, w, n);
+    obs::trace::disable();
+    let snap = obs::trace::take();
+    if let Some(dir) = opts.trace_out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("trace output directory");
+        }
+    }
+    std::fs::write(&opts.trace_out, snap.to_chrome_json()).expect("write trace file");
+    println!(
+        "# {} events over {:.6}s -> {}",
+        snap.len(),
+        elapsed.as_secs_f64(),
+        opts.trace_out.display()
+    );
+    if !obs::enabled() {
+        println!("(telemetry compiled out — the trace is empty)");
     }
 }
 
@@ -580,6 +726,11 @@ fn growth_study(opts: &Opts) {
         f.adaptive_one_add.to_string(),
     ]);
     print_row(&[
+        "  …of which epoch domain".to_string(),
+        f.adaptive_domain.to_string(),
+        f.adaptive_domain.to_string(),
+    ]);
+    print_row(&[
         format!("fixed ({} lanes, superseded default)", f.fixed_lanes),
         f.fixed_fresh.to_string(),
         f.fixed_one_add.to_string(),
@@ -588,6 +739,7 @@ fn growth_study(opts: &Opts) {
     r.input("fixed_lanes", f.fixed_lanes);
     r.output("adaptive_fresh_bytes", f.adaptive_fresh)
         .output("adaptive_one_add_bytes", f.adaptive_one_add)
+        .output("adaptive_domain_bytes", f.adaptive_domain)
         .output("fixed_fresh_bytes", f.fixed_fresh)
         .output("fixed_one_add_bytes", f.fixed_one_add);
     rep.record(&r);

@@ -411,10 +411,14 @@ pub fn fanout_broadcast_probed<C: CounterFamily>(
 /// "single-dependent futures pay one word" claim, in bytes.
 #[derive(Clone, Copy, Debug)]
 pub struct FootprintReport {
-    /// A fresh adaptive out-set (1 lane, no blocks).
+    /// A fresh adaptive out-set (1 lane, no blocks, private epoch domain).
     pub adaptive_fresh: usize,
     /// An adaptive out-set holding one registered dependent.
     pub adaptive_one_add: usize,
+    /// The part of `adaptive_fresh` that is the private epoch
+    /// reclamation domain — a fixed once-per-out-set cost growable
+    /// out-sets pay and frozen ones do not.
+    pub adaptive_domain: usize,
     /// The fixed lane count the first iteration allocated up front.
     pub fixed_lanes: usize,
     /// A fresh fixed-lane out-set of that size.
@@ -429,13 +433,21 @@ pub fn outset_footprint_report() -> FootprintReport {
     let fixed_lanes = cores.next_power_of_two().min(16);
     let adaptive = TreeOutsetObj::new();
     let adaptive_fresh = adaptive.footprint_bytes();
+    let adaptive_domain = adaptive.domain_footprint_bytes();
     let _ = adaptive.add(1, 0);
     let adaptive_one_add = adaptive.footprint_bytes();
     let fixed = TreeOutsetObj::with_lanes(fixed_lanes);
     let fixed_fresh = fixed.footprint_bytes();
     let _ = fixed.add(1, 0);
     let fixed_one_add = fixed.footprint_bytes();
-    FootprintReport { adaptive_fresh, adaptive_one_add, fixed_lanes, fixed_fresh, fixed_one_add }
+    FootprintReport {
+        adaptive_fresh,
+        adaptive_one_add,
+        adaptive_domain,
+        fixed_lanes,
+        fixed_fresh,
+        fixed_one_add,
+    }
 }
 
 /// Which raw counter the SNZI reproduction study (Figure 12) exercises.
@@ -616,11 +628,15 @@ mod tests {
     #[test]
     fn footprint_report_orders_as_documented() {
         let r = outset_footprint_report();
-        assert!(r.adaptive_fresh <= r.fixed_fresh, "adaptive start must not cost more");
+        assert!(r.adaptive_domain > 0, "growable out-sets carry a reclamation domain");
+        assert!(
+            r.adaptive_fresh - r.adaptive_domain <= r.fixed_fresh,
+            "net of the fixed domain cost, the adaptive start must not cost more"
+        );
         assert!(r.adaptive_one_add > r.adaptive_fresh, "one add allocates the first block");
         if r.fixed_lanes > 1 {
             assert!(
-                r.fixed_fresh > r.adaptive_fresh,
+                r.fixed_fresh > r.adaptive_fresh - r.adaptive_domain,
                 "a multi-lane fixed table costs more than the single-lane start"
             );
         }

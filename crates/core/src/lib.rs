@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub use incounter;
+pub use obs;
 pub use outset;
 pub use sched;
 pub use snzi;
@@ -80,6 +81,7 @@ pub mod prelude {
     pub use crate::par::{parallel_for, parallel_for_then, parallel_reduce};
     pub use crate::{CounterFamily, Ctx, DynConfig, DynSnzi, OutCell, Probability, Runtime, Scope};
     pub use incounter::{FetchAdd, FixedConfig, FixedDepth};
+    pub use obs::Snapshot;
     pub use outset::{MutexOutset, OutsetFamily, TreeOutset};
     pub use spdag::{run_dag, FutureHandle};
 }

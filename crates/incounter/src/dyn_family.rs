@@ -99,6 +99,10 @@ impl CounterFamily for DynSnzi {
     const NAME: &'static str = "incounter";
 
     fn make(cfg: &DynConfig, n: u64) -> SnziTree {
+        // No `incounter.created` probe here: `with_probability` already
+        // bumps `snzi.trees_created`, and one counter object *is* one
+        // tree for this family — a second increment on the per-vertex
+        // creation path would double the cost for a derivable number.
         let tree = SnziTree::with_probability(n, cfg.p);
         if cfg.pregrow_levels > 0 {
             let mut frontier = vec![tree.root_handle()];

@@ -38,6 +38,7 @@ impl CounterFamily for FetchAdd {
     const NAME: &'static str = "fetch-add";
 
     fn make(_cfg: &(), n: u64) -> FaCell {
+        obs::counter!("incounter.created").inc();
         FaCell { value: AtomicI64::new(n as i64) }
     }
 

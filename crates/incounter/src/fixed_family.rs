@@ -53,6 +53,7 @@ impl CounterFamily for FixedDepth {
     const NAME: &'static str = "snzi-fixed";
 
     fn make(cfg: &FixedConfig, n: u64) -> FixedSnzi {
+        obs::counter!("incounter.created").inc();
         FixedSnzi::new(cfg.depth, n)
     }
 

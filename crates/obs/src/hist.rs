@@ -1,0 +1,151 @@
+//! Power-of-two-bucket latency histograms.
+//!
+//! Histograms are for *rare* events (an out-set sweep, a successful
+//! steal) — unlike [`crate::counter::Counter`] the buckets are not
+//! sharded, so a record is one relaxed `fetch_add` on a line that may
+//! be shared. Never put one on a per-add hot path.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+
+use crate::report::{HistogramSnapshot, HIST_BUCKETS};
+use crate::Ticks;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const BUCKET_INIT: AtomicU64 = AtomicU64::new(0);
+
+const UNREGISTERED: u8 = 0;
+const REGISTERING: u8 = 1;
+const REGISTERED: u8 = 2;
+
+static HEAD: AtomicPtr<Histogram> = AtomicPtr::new(ptr::null_mut());
+
+/// A named, statically-declared latency histogram with power-of-two
+/// buckets (bucket `i > 0` counts values in `[2^(i-1), 2^i)`; bucket 0
+/// counts zeros). Declare with [`crate::histogram!`].
+pub struct Histogram {
+    name: &'static str,
+    state: AtomicU8,
+    next: AtomicPtr<Histogram>,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// Bucket index for a value: `0` for 0, otherwise `⌊log₂ v⌋ + 1`,
+/// clamped into the top bucket.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Const constructor used by the [`crate::histogram!`] macro.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            state: AtomicU8::new(UNREGISTERED),
+            next: AtomicPtr::new(ptr::null_mut()),
+            buckets: [BUCKET_INIT; HIST_BUCKETS],
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&'static self, value: u64) {
+        if self.state.load(Ordering::Acquire) != REGISTERED {
+            self.register();
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the nanoseconds elapsed since `start` (from
+    /// [`crate::now`]).
+    #[inline]
+    pub fn record_since(&'static self, start: Ticks) {
+        self.record(start.elapsed_ns());
+    }
+
+    /// Plain-data reading of the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::default();
+        for (out, b) in snap.buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        snap
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        match self.state.compare_exchange(
+            UNREGISTERED,
+            REGISTERING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                let me = self as *const Histogram as *mut Histogram;
+                let mut head = HEAD.load(Ordering::Acquire);
+                loop {
+                    self.next.store(head, Ordering::Relaxed);
+                    match HEAD.compare_exchange_weak(head, me, Ordering::Release, Ordering::Acquire)
+                    {
+                        Ok(_) => break,
+                        Err(h) => head = h,
+                    }
+                }
+                self.state.store(REGISTERED, Ordering::Release);
+            }
+            Err(_) => {
+                while self.state.load(Ordering::Acquire) != REGISTERED {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+/// Walk every registered histogram.
+pub(crate) fn for_each(f: &mut dyn FnMut(&'static Histogram)) {
+    let mut p = HEAD.load(Ordering::Acquire);
+    while !p.is_null() {
+        let h: &'static Histogram = unsafe { &*p };
+        f(h);
+        p = h.next.load(Ordering::Acquire);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_documented_ranges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn records_land_in_their_buckets() {
+        static H: Histogram = Histogram::new("test.hist_unit");
+        H.record(0);
+        H.record(5);
+        H.record(5);
+        H.record(1 << 40);
+        let s = H.snapshot();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[bucket_index(5)], 2);
+        assert_eq!(s.buckets[41], 1);
+        assert_eq!(s.max_bound(), 1 << 41);
+    }
+}

@@ -1,0 +1,112 @@
+//! Zero-cost twins of the telemetry API, compiled in when the
+//! `telemetry` feature is off. Every probe is an empty inlined
+//! function; [`now`] never reads the clock; [`crate::Snapshot::take`]
+//! returns an empty snapshot (handled in `report.rs`).
+
+use crate::Ticks;
+
+/// A named counter whose operations compile to nothing.
+pub struct Counter {
+    name: &'static str,
+}
+
+impl Counter {
+    /// Const constructor used by the [`crate::counter!`] macro.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&'static self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&'static self, _n: u64) {}
+
+    /// Always 0.
+    pub fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// A named histogram whose operations compile to nothing.
+pub struct Histogram {
+    name: &'static str,
+}
+
+impl Histogram {
+    /// Const constructor used by the [`crate::histogram!`] macro.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram { name }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&'static self, _value: u64) {}
+
+    /// No-op (never reads the clock).
+    #[inline(always)]
+    pub fn record_since(&'static self, _start: Ticks) {}
+}
+
+/// Constant zero timestamp (the no-op build never reads the clock).
+#[inline(always)]
+pub fn now() -> Ticks {
+    Ticks(0)
+}
+
+impl Ticks {
+    /// Always 0 (no clock read).
+    #[inline(always)]
+    pub fn elapsed_ns(self) -> u64 {
+        0
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+}
+
+/// No-op twin of the trace module: probes vanish, [`trace::take`]
+/// returns an empty snapshot.
+pub mod trace {
+    use crate::report::TraceSnapshot;
+    use crate::{EventKind, Ticks};
+
+    /// No-op (tracing cannot be enabled in this build).
+    pub fn enable() {}
+
+    /// No-op.
+    pub fn disable() {}
+
+    /// Always false.
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record(_kind: EventKind, _arg: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_span(_kind: EventKind, _arg: u64, _start: Ticks) {}
+
+    /// Always empty.
+    pub fn take() -> TraceSnapshot {
+        TraceSnapshot::default()
+    }
+}

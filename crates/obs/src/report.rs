@@ -1,0 +1,330 @@
+//! Snapshot and export types shared by both build modes.
+//!
+//! Everything here is plain data: taking a snapshot is mode-dependent
+//! (it walks the registries only when telemetry is compiled in), but
+//! diffing, rendering, and Chrome-JSON export work identically — an
+//! empty snapshot just renders empty.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::EventKind;
+
+/// Number of power-of-two buckets in a histogram: bucket `i > 0` counts
+/// values in `[2^(i-1), 2^i)`, bucket 0 counts zeros, and the last
+/// bucket absorbs everything above `2^62`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A point-in-time, lock-free reading of every registered counter and
+/// histogram, keyed by name (same-named probes from different call
+/// sites are summed).
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub(crate) counters: BTreeMap<&'static str, u64>,
+    pub(crate) histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Capture the current counter and histogram totals.
+    ///
+    /// Lock-free and safe to call concurrently with increments; any
+    /// increment that completed before this call is included, and
+    /// repeated snapshots observe non-decreasing values (per-shard
+    /// atomic coherence). With telemetry compiled out this returns an
+    /// empty snapshot.
+    pub fn take() -> Snapshot {
+        #[cfg(feature = "telemetry")]
+        {
+            let mut counters = BTreeMap::new();
+            crate::counter::for_each(&mut |c| {
+                *counters.entry(c.name()).or_insert(0) += c.value();
+            });
+            let mut histograms: BTreeMap<&'static str, HistogramSnapshot> = BTreeMap::new();
+            crate::hist::for_each(&mut |h| {
+                let snap = h.snapshot();
+                histograms.entry(h.name()).and_modify(|s| s.merge(&snap)).or_insert(snap);
+            });
+            Snapshot { counters, histograms }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            Snapshot::default()
+        }
+    }
+
+    /// Value of the named counter (0 if it never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&n, &v)| (n, v))
+    }
+
+    /// The named histogram, if it ever registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &HistogramSnapshot)> + '_ {
+        self.histograms.iter().map(|(&n, s)| (n, s))
+    }
+
+    /// True when nothing has registered (always true with telemetry
+    /// compiled out).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Per-name difference `self − baseline` (saturating), for
+    /// before/after accounting around a workload. Names absent from
+    /// `baseline` are kept as-is; names absent from `self` are dropped.
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&n, &v)| (n, v.saturating_sub(baseline.counter(n))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(&n, s)| {
+                let mut d = s.clone();
+                if let Some(b) = baseline.histogram(n) {
+                    d.subtract(b);
+                }
+                (n, d)
+            })
+            .collect();
+        Snapshot { counters, histograms }
+    }
+
+    /// Human-readable table of every counter and histogram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no telemetry: nothing registered or compiled out)\n");
+            return out;
+        }
+        for (name, value) in self.counters() {
+            let _ = writeln!(out, "{name:<36} {value:>14}");
+        }
+        for (name, h) in self.histograms() {
+            let _ = writeln!(
+                out,
+                "{name:<36} {:>14}  p50<{} p90<{} p99<{} max<{}",
+                h.count(),
+                h.quantile_bound(0.50),
+                h.quantile_bound(0.90),
+                h.quantile_bound(0.99),
+                h.max_bound(),
+            );
+        }
+        out
+    }
+}
+
+/// Plain-data reading of one power-of-two histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket counts; see [`HIST_BUCKETS`] for the bucket boundaries.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Exclusive upper bound of the bucket containing the `q`-quantile
+    /// (0 when empty). `q` is clamped to `[0, 1]`.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HIST_BUCKETS - 1)
+    }
+
+    /// Exclusive upper bound of the highest non-empty bucket (0 when
+    /// empty).
+    pub fn max_bound(&self) -> u64 {
+        self.buckets.iter().rposition(|&b| b != 0).map_or(0, bucket_bound)
+    }
+
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    pub(crate) fn subtract(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (`u64::MAX` for the last, which
+/// absorbs everything above `2^62`).
+pub(crate) fn bucket_bound(i: usize) -> u64 {
+    if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// One decoded trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the process-local trace epoch.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds (0 for instant events).
+    pub dur_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Ring (≈ thread) the event was recorded on.
+    pub ring: u32,
+    /// Kind-specific argument (see [`EventKind`] docs).
+    pub arg: u64,
+}
+
+/// A drained view of every trace ring, sorted by timestamp.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// The decoded events (oldest first).
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSnapshot {
+    /// Number of events captured.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialize as Chrome Trace Event Format JSON (loadable in
+    /// `chrome://tracing` / Perfetto): spans become `"X"` (complete)
+    /// events, instant events become `"i"`, timestamps are microseconds
+    /// with nanosecond fractions.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ts = e.ts_ns as f64 / 1_000.0;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{ts:.3},",
+                e.kind.name(),
+                e.kind.category(),
+                e.ring,
+            );
+            if e.dur_ns > 0 {
+                let _ = write!(out, "\"ph\":\"X\",\"dur\":{:.3},", e.dur_ns as f64 / 1_000.0);
+            } else {
+                out.push_str("\"ph\":\"i\",\"s\":\"t\",");
+            }
+            let _ = write!(out, "\"args\":{{\"arg\":{}}}}}", e.arg);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(1), 2);
+        assert_eq!(bucket_bound(10), 1024);
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let mut h = HistogramSnapshot::default();
+        h.buckets[3] = 50; // values in [4, 8)
+        h.buckets[7] = 50; // values in [64, 128)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_bound(0.25), 8);
+        assert_eq!(h.quantile_bound(0.50), 8);
+        assert_eq!(h.quantile_bound(0.51), 128);
+        assert_eq!(h.quantile_bound(1.0), 128);
+        assert_eq!(h.max_bound(), 128);
+        assert_eq!(HistogramSnapshot::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn diff_saturates_and_keeps_new_names() {
+        let mut before = Snapshot::default();
+        before.counters.insert("a", 10);
+        before.counters.insert("gone", 99);
+        let mut after = Snapshot::default();
+        after.counters.insert("a", 15);
+        after.counters.insert("b", 7);
+        let d = after.diff(&before);
+        assert_eq!(d.counter("a"), 5);
+        assert_eq!(d.counter("b"), 7);
+        assert_eq!(d.counter("gone"), 0);
+    }
+
+    #[test]
+    fn chrome_json_has_both_phases() {
+        let snap = TraceSnapshot {
+            events: vec![
+                TraceEvent { ts_ns: 1500, dur_ns: 0, kind: EventKind::Park, ring: 2, arg: 9 },
+                TraceEvent { ts_ns: 2000, dur_ns: 500, kind: EventKind::Sweep, ring: 0, arg: 3 },
+            ],
+        };
+        let json = snap.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"t\""));
+        assert!(json.contains("\"ph\":\"X\",\"dur\":0.500"));
+        assert!(json.contains("\"name\":\"sweep\",\"cat\":\"outset\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert_eq!(TraceSnapshot::default().to_chrome_json().matches("{\"name\"").count(), 0);
+    }
+
+    #[test]
+    fn render_mentions_every_name() {
+        let mut s = Snapshot::default();
+        s.counters.insert("outset.adds", 42);
+        let mut h = HistogramSnapshot::default();
+        h.buckets[5] = 1;
+        s.histograms.insert("outset.sweep_ns", h);
+        let r = s.render();
+        assert!(r.contains("outset.adds"));
+        assert!(r.contains("42"));
+        assert!(r.contains("outset.sweep_ns"));
+        assert!(Snapshot::default().render().contains("nothing registered"));
+    }
+}

@@ -22,13 +22,20 @@ pub struct MutexOutsetObj {
 impl MutexOutsetObj {
     /// An empty, unsealed out-set.
     pub fn new() -> MutexOutsetObj {
+        obs::counter!("outset.created").inc();
         MutexOutsetObj { inner: Mutex::new(Inner { sealed: false, edges: Vec::new() }) }
     }
 
-    /// Register `token`; see [`OutsetFamily::add`].
+    /// Register `token`; see [`OutsetFamily::add`]. The same telemetry
+    /// conservation invariant as the tree out-set holds: after seal,
+    /// `outset.adds == outset.adds_bounced + outset.swept` across both
+    /// families.
     pub fn add(&self, token: u64) -> AddEdge {
+        obs::counter!("outset.adds").inc();
         let mut inner = self.inner.lock().unwrap();
         if inner.sealed {
+            drop(inner);
+            obs::counter!("outset.adds_bounced").inc();
             return AddEdge::Finished(token);
         }
         inner.edges.push(token);
@@ -45,11 +52,17 @@ impl MutexOutsetObj {
             inner.sealed = true;
             std::mem::take(&mut inner.edges)
         };
+        obs::counter!("outset.seals").inc();
+        let sweep_start = obs::now();
+        let delivered = edges.len() as u64;
         // Deliver outside the lock: sinks schedule work and must not
         // serialize behind late adders bouncing off the seal.
         for token in edges {
             sink(token);
         }
+        obs::counter!("outset.swept").add(delivered);
+        obs::histogram!("outset.sweep_ns").record_since(sweep_start);
+        obs::trace::record_span(obs::EventKind::Sweep, delivered, sweep_start);
         true
     }
 

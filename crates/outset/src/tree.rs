@@ -102,6 +102,13 @@ const EMPTY: u64 = 0;
 const SWEPT: u64 = 1;
 const TOKEN_BIAS: u64 = 2;
 
+/// Pin-count stripes in each growable out-set's private epoch domain.
+/// Fewer than the default domain's 16: the domain serves one structure,
+/// so the trade is one padded cache line per stripe against `≈ W/4` pin
+/// contention from this out-set's own adders only (see
+/// `docs/outset-contention.md`, Claim 1).
+pub const OUTSET_PIN_STRIPES: usize = 4;
+
 // Slots per block (`BLOCK_SLOTS`, defined in `growth` so the hint
 // heuristic can use it): a compromise between per-future footprint
 // (futures with one or two dependents — pipelines — pay one ~300 B block
@@ -191,6 +198,13 @@ pub struct TreeOutsetObj {
     /// Lost block-install CASes (diagnostic — the contention signal that
     /// feeds the growth coin; see [`install_races`](Self::install_races)).
     race_count: AtomicUsize,
+    /// Private epoch domain protecting the table indirection, present
+    /// exactly when `growable`: retired lane tables are deferred here, so
+    /// this out-set's reclamation is independent of every other out-set
+    /// (and of the process-wide default domain) — pins elsewhere cannot
+    /// delay our garbage, and our pins share stripes with nobody else.
+    /// Frozen tables never pin, so they don't pay for a domain at all.
+    domain: Option<Box<epoch::Domain>>,
 }
 
 // SAFETY: all shared state is atomics; Lane/Block pointers are published
@@ -228,6 +242,7 @@ impl TreeOutsetObj {
         let initial = initial_lanes.max(1).next_power_of_two().min(policy.max_lanes());
         let lanes: Vec<*mut Lane> = (0..initial).map(|_| Lane::boxed()).collect();
         let growable = initial < policy.max_lanes() && policy.probability() != Probability::NEVER;
+        obs::counter!("outset.created").inc();
         TreeOutsetObj {
             sealed: AtomicBool::new(false),
             table: AtomicPtr::new(LaneTable::boxed(lanes)),
@@ -236,6 +251,7 @@ impl TreeOutsetObj {
             lanes_approx: AtomicUsize::new(initial),
             split_count: AtomicUsize::new(0),
             race_count: AtomicUsize::new(0),
+            domain: growable.then(|| Box::new(epoch::Domain::with_stripes(OUTSET_PIN_STRIPES))),
         }
     }
 
@@ -248,21 +264,31 @@ impl TreeOutsetObj {
     }
 
     /// Register `token`; see [`OutsetFamily::add`] for the contract.
+    ///
+    /// Telemetry conservation invariant (checked by `harness obs
+    /// --assert-bound`): every add ends up in exactly one of
+    /// `outset.adds_bounced` (delivered inline, [`AddEdge::Finished`])
+    /// or — once the out-set is sealed — `outset.swept` (delivered by
+    /// the sweep), so `adds == adds_bounced + swept` after seal.
     pub fn add(&self, token: u64, key: u64) -> AddEdge {
         assert!(token <= u64::MAX - TOKEN_BIAS, "tokens u64::MAX and u64::MAX-1 are reserved");
+        obs::counter!("outset.adds").inc();
         if self.sealed.load(Ordering::SeqCst) {
+            obs::counter!("outset.adds_bounced").inc();
             return AddEdge::Finished(token);
         }
         let slot = self.claim_slot(key);
         let biased = token + TOKEN_BIAS;
         if slot.compare_exchange(EMPTY, biased, Ordering::SeqCst, Ordering::SeqCst).is_err() {
             // The sweep resolved this slot before we published.
+            obs::counter!("outset.adds_bounced").inc();
             return AddEdge::Finished(token);
         }
         if self.sealed.load(Ordering::SeqCst) {
             // Published around the seal: exactly one of us (this add, the
             // sweep) turns the slot over and owns the delivery.
             if slot.compare_exchange(biased, SWEPT, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+                obs::counter!("outset.adds_bounced").inc();
                 return AddEdge::Finished(token);
             }
         }
@@ -274,8 +300,9 @@ impl TreeOutsetObj {
     /// as needed.
     fn claim_slot(&self, key: u64) -> &AtomicU64 {
         // A non-growable table is immutable and kept alive by `&self`, so
-        // only growable out-sets pay the epoch pin.
-        let guard = self.growable.then(epoch::pin);
+        // only growable out-sets pay the epoch pin — in their own domain,
+        // whose stripes no other structure shares.
+        let guard = self.domain.as_deref().map(epoch::Domain::pin);
         loop {
             // Re-read the table every round: a split (ours or a
             // competitor's) re-hashes the key over more lanes.
@@ -306,6 +333,7 @@ impl TreeOutsetObj {
                 // this lane: flip the split coin (the adaptive analogue
                 // of the in-counter's per-increment grow coin).
                 self.race_count.fetch_add(1, Ordering::Relaxed);
+                obs::counter!("outset.lost_cas").inc();
                 if let Some(guard) = &guard {
                     if self.policy.flip() {
                         self.try_split(guard, table_ptr);
@@ -344,6 +372,8 @@ impl TreeOutsetObj {
             Ok(_) => {
                 self.lanes_approx.fetch_max(old_len * 2, Ordering::Relaxed);
                 self.split_count.fetch_add(1, Ordering::Relaxed);
+                obs::counter!("outset.splits").inc();
+                obs::trace::record(obs::EventKind::LaneSplit, (old_len * 2) as u64);
                 // Retire the superseded table — the pointer array only;
                 // the lanes it shares with `fresh` live on.
                 // SAFETY: `old` is unlinked (the CAS succeeded), so no new
@@ -370,7 +400,10 @@ impl TreeOutsetObj {
     /// cap). A deterministic handle on the growth machinery for tests and
     /// the footprint study; returns whether a split happened.
     pub fn force_split(&self) -> bool {
-        let guard = epoch::pin();
+        let Some(domain) = self.domain.as_deref() else {
+            return false; // frozen: try_split would refuse anyway
+        };
+        let guard = domain.pin();
         let before = self.split_count.load(Ordering::Relaxed);
         let old = self.table.load(Ordering::SeqCst);
         self.try_split(&guard, old);
@@ -382,11 +415,15 @@ impl TreeOutsetObj {
         if self.sealed.swap(true, Ordering::SeqCst) {
             return false;
         }
-        let guard = epoch::pin();
+        obs::counter!("outset.seals").inc();
+        obs::trace::record(obs::EventKind::Seal, self.lane_count() as u64);
+        let sweep_start = obs::now();
+        let mut delivered = 0u64;
+        let guard = self.domain.as_deref().map(epoch::Domain::pin);
         // Loaded after the seal: by lane-set monotonicity this table
         // contains every lane a pre-seal adder could have claimed through.
         let table_ptr = self.table.load(Ordering::SeqCst);
-        // SAFETY: pinned; see `claim_slot`.
+        // SAFETY: pinned (or the table is immutable); see `claim_slot`.
         let table = unsafe { &*table_ptr };
         for &lane_ptr in table.lanes.iter() {
             // SAFETY: lanes are freed only in Drop.
@@ -399,6 +436,7 @@ impl TreeOutsetObj {
                 for slot in &block.slots[..claimed] {
                     let prev = slot.swap(SWEPT, Ordering::SeqCst);
                     if prev >= TOKEN_BIAS {
+                        delivered += 1;
                         sink(prev - TOKEN_BIAS);
                     }
                     // prev == EMPTY: the claiming adder has not published
@@ -408,6 +446,9 @@ impl TreeOutsetObj {
             }
         }
         drop(guard);
+        obs::counter!("outset.swept").add(delivered);
+        obs::histogram!("outset.sweep_ns").record_since(sweep_start);
+        obs::trace::record_span(obs::EventKind::Sweep, delivered, sweep_start);
         true
     }
 
@@ -434,37 +475,65 @@ impl TreeOutsetObj {
         self.race_count.load(Ordering::Relaxed)
     }
 
-    /// Number of blocks currently allocated (test/diagnostic aid).
-    pub fn block_count(&self) -> usize {
-        let _guard = epoch::pin();
-        let table_ptr = self.table.load(Ordering::SeqCst);
-        // SAFETY: pinned; lanes/blocks freed only in Drop.
-        let table = unsafe { &*table_ptr };
+    /// Blocks reachable from a given table generation.
+    ///
+    /// # Safety
+    /// `table` must be alive (caller pinned, or table immutable).
+    unsafe fn blocks_in(table: &LaneTable) -> usize {
         let mut n = 0;
         for &lane_ptr in table.lanes.iter() {
+            // SAFETY: lanes/blocks are freed only in Drop; `&self` (held
+            // by every caller) keeps them alive.
             let mut head = unsafe { (*lane_ptr).head.load(Ordering::SeqCst) };
             while !head.is_null() {
                 n += 1;
-                // SAFETY: as in `claim_slot`.
                 head = unsafe { (*head).next };
             }
         }
         n
     }
 
-    /// Bytes of heap currently held (table + lanes + blocks), plus the
-    /// object itself — the footprint-study probe. Quiescent use only (the
-    /// walk is racy under concurrent growth).
-    pub fn footprint_bytes(&self) -> usize {
-        let _guard = epoch::pin();
+    /// Number of blocks currently allocated (test/diagnostic aid).
+    pub fn block_count(&self) -> usize {
+        let _guard = self.domain.as_deref().map(epoch::Domain::pin);
         let table_ptr = self.table.load(Ordering::SeqCst);
-        // SAFETY: pinned; see `block_count`.
+        // SAFETY: pinned (or immutable); lanes/blocks freed only in Drop.
+        unsafe { Self::blocks_in(&*table_ptr) }
+    }
+
+    /// Bytes of heap currently held (table + lanes + blocks + private
+    /// epoch domain), plus the object itself — the footprint-study
+    /// probe. Quiescent use only (the walk is racy under concurrent
+    /// growth).
+    ///
+    /// Everything is computed from **one** load of the live table
+    /// generation under a single pin. (An earlier version re-loaded the
+    /// table through `block_count`'s separate pin, so a split landing
+    /// between the two loads mixed generations in the sum — see the
+    /// `footprint_matches_equivalent_born_table_after_growth` test.)
+    /// Superseded table headers awaiting reclamation in the domain are
+    /// deliberately not counted: they are garbage, not footprint.
+    pub fn footprint_bytes(&self) -> usize {
+        let domain_bytes = self.domain.as_deref().map_or(0, epoch::Domain::footprint_bytes);
+        let _guard = self.domain.as_deref().map(epoch::Domain::pin);
+        let table_ptr = self.table.load(Ordering::SeqCst);
+        // SAFETY: pinned (or immutable); see `block_count`.
         let table = unsafe { &*table_ptr };
+        // SAFETY: same generation, same pin.
+        let blocks = unsafe { Self::blocks_in(table) };
         std::mem::size_of::<Self>()
+            + domain_bytes
             + std::mem::size_of::<LaneTable>()
             + table.lanes.len() * std::mem::size_of::<*mut Lane>()
             + table.lanes.len() * std::mem::size_of::<Lane>()
-            + self.block_count() * std::mem::size_of::<Block>()
+            + blocks * std::mem::size_of::<Block>()
+    }
+
+    /// Bytes of the private epoch reclamation domain included in
+    /// [`footprint_bytes`](Self::footprint_bytes) — a fixed cost paid
+    /// once per growable out-set (0 for frozen ones, which never pin).
+    pub fn domain_footprint_bytes(&self) -> usize {
+        self.domain.as_deref().map_or(0, epoch::Domain::footprint_bytes)
     }
 }
 
@@ -661,8 +730,52 @@ mod tests {
         let wide = TreeOutsetObj::with_lanes(16);
         assert!(
             wide.footprint_bytes() > one_lane,
-            "a 16-lane table must cost more than the adaptive start"
+            "a 16-lane table must cost more than the adaptive start (even \
+             though the adaptive one also carries its private epoch domain)"
         );
+    }
+
+    #[test]
+    fn frozen_outsets_carry_no_domain() {
+        // A fixed table never pins, so it must not pay for a domain:
+        // same lane count, strictly smaller footprint than a growable
+        // table of the same width.
+        let frozen = TreeOutsetObj::with_lanes(4);
+        let growable = TreeOutsetObj::with_policy(4, GrowthPolicy::eager(8));
+        assert_eq!(frozen.lane_count(), growable.lane_count());
+        assert!(
+            frozen.footprint_bytes() < growable.footprint_bytes(),
+            "domain bytes must only be charged to growable out-sets"
+        );
+    }
+
+    #[test]
+    fn footprint_matches_equivalent_born_table_after_growth() {
+        // Regression (ISSUE 6 satellite): the probe used to re-load the
+        // table through `block_count`'s *separate* pin, so the sum could
+        // mix two generations around a split (and over-count a table
+        // header). The probe must reflect the live generation only:
+        // growing 1 → 8 lanes must cost exactly what an equivalent
+        // 8-lane growable table costs, with zero residue per split.
+        let grown = TreeOutsetObj::with_policy(1, GrowthPolicy::eager(8));
+        while grown.force_split() {}
+        assert_eq!(grown.lane_count(), 8);
+        assert_eq!(grown.splits(), 3);
+        let born = TreeOutsetObj::with_policy(8, GrowthPolicy::eager(16));
+        assert_eq!(born.lane_count(), 8);
+        assert_eq!(
+            grown.footprint_bytes(),
+            born.footprint_bytes(),
+            "split history must leave no residue in the footprint"
+        );
+        // Identical add sequences keep the probes identical, and the
+        // probe is stable across repeated reads.
+        for t in 0..(2 * BLOCK_SLOTS as u64) {
+            let _ = grown.add(t, t);
+            let _ = born.add(t, t);
+        }
+        assert_eq!(grown.footprint_bytes(), born.footprint_bytes());
+        assert_eq!(grown.footprint_bytes(), grown.footprint_bytes());
     }
 
     #[test]

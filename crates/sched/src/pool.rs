@@ -219,6 +219,7 @@ where
             return;
         }
         // Steal phase.
+        let hunt_start = obs::now();
         let mut stolen = None;
         'rounds: for _ in 0..STEAL_ATTEMPTS_PER_ROUND {
             for _ in 0..n {
@@ -229,6 +230,8 @@ where
                 match shared.stealers[victim].steal() {
                     StealResult::Success(task) => {
                         ctx.steals.set(ctx.steals.get() + 1);
+                        obs::histogram!("sched.steal_to_run_ns").record_since(hunt_start);
+                        obs::trace::record_span(obs::EventKind::Steal, victim as u64, hunt_start);
                         stolen = Some(task);
                         break 'rounds;
                     }
@@ -247,6 +250,7 @@ where
                     return;
                 }
                 ctx.parks.set(ctx.parks.get() + 1);
+                obs::trace::record(obs::EventKind::Park, ctx.id as u64);
                 shared.sleep.park(|| {
                     shared.done.load(Ordering::Acquire)
                         || shared.stealers.iter().any(|s| !s.is_empty())
@@ -336,6 +340,11 @@ where
         out.parks += p;
         out.tasks_per_worker.push(t);
     }
+    // Per-worker tallies are cheap `Cell`s on the hot path; fold them
+    // into the registry in one bulk add per counter at pool teardown.
+    obs::counter!("sched.tasks").add(out.tasks);
+    obs::counter!("sched.steals").add(out.steals);
+    obs::counter!("sched.parks").add(out.parks);
     out
 }
 

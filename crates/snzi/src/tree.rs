@@ -115,6 +115,7 @@ impl SnziTree {
     pub fn with_probability(initial: u64, p: Probability) -> SnziTree {
         assert!(initial <= MAX_ROOT_SURPLUS as u64, "initial surplus too large");
         let id = next_tree_id();
+        obs::counter!("snzi.trees_created").inc();
         #[cfg(feature = "global-stats")]
         crate::stats::global::TREES_CREATED.fetch_add(1, Ordering::Relaxed);
         SnziTree {
@@ -263,7 +264,7 @@ impl SnziTree {
     }
 
     #[inline]
-    pub(crate) fn pin_if_shrinkable(&self) -> Option<crossbeam::epoch::Guard> {
+    pub(crate) fn pin_if_shrinkable(&self) -> Option<crossbeam::epoch::Guard<'static>> {
         if self.shrinkable {
             Some(crossbeam::epoch::pin())
         } else {
@@ -292,6 +293,7 @@ impl SnziTree {
             ) {
                 Ok(_) => {
                     self.stats.grow_installs.fetch_add(1, Ordering::Relaxed);
+                    obs::counter!("snzi.grow_installs").inc();
                     #[cfg(feature = "global-stats")]
                     crate::stats::global::PAIRS_INSTALLED.fetch_add(1, Ordering::Relaxed);
                 }
@@ -301,6 +303,7 @@ impl SnziTree {
                     // never published.
                     drop(unsafe { Box::from_raw(pair) });
                     self.stats.grow_losses.fetch_add(1, Ordering::Relaxed);
+                    obs::counter!("snzi.grow_losses").inc();
                 }
             }
         }

@@ -80,6 +80,8 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         // The vertex address serves as the placement key for hashed
         // families; it is unique among live vertices and free to compute.
         let vid = u as *const Vertex<C> as u64;
+        obs::counter!("spdag.spawns").inc();
+        obs::trace::record(obs::EventKind::Spawn, vid);
         // Figure 5: grow + arrive first ...
         // SAFETY: `u.inc` points into `fc` by construction; validity is
         // the sp-dag discipline itself.
@@ -110,6 +112,8 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
     /// Monomorphisation-friendly version of [`chain`](Ctx::chain).
     pub fn chain_boxed(self, first: Body<C>, then: Body<C>) {
         let u = self.vertex;
+        obs::counter!("spdag.chains").inc();
+        obs::trace::record(obs::EventKind::Chain, u as *const Vertex<C> as u64);
         // w: the new finish vertex; takes over u's position in u's scope
         // (inherits fin, inc, dec pair and left/right position) and waits
         // on one dependency — the completion of `first`'s subtree.

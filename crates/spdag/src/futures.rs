@@ -287,6 +287,8 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
             value: UnsafeCell::new(None),
             completed: AtomicBool::new(false),
         });
+        obs::counter!("spdag.futures_created").inc();
+        obs::trace::record(obs::EventKind::FutureCreate, fanout_hint as u64);
         let (cfg, worker) = (self.cfg, self.worker);
         let u = &mut *self.vertex;
         // Join the enclosing finish scope exactly like Scope::fork: one
@@ -301,6 +303,7 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         // straight onto the deque as one batch.
         let sweep_core = Arc::clone(&core);
         let completion: Body<C> = Box::new(move |c: Ctx<'_, C>| {
+            let fulfill_start = obs::now();
             sweep_core.completed.store(true, Ordering::SeqCst);
             let mut ready: Vec<VertexPtr<C>> = Vec::new();
             O::finish(&sweep_core.outset, &mut |token| {
@@ -312,6 +315,12 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
                     ready.push(VertexPtr(w));
                 }
             });
+            obs::counter!("spdag.fulfills").inc();
+            obs::trace::record_span(
+                obs::EventKind::FutureFulfill,
+                ready.len() as u64,
+                fulfill_start,
+            );
             c.worker.push_batch(ready);
         });
         let fw = Vertex::boxed(cfg, 1, i1, pair, fin, true, Some(completion));
@@ -508,6 +517,8 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         K: for<'b> FnOnce(Ctx<'b, C>, &T) + Send + 'static,
     {
         let u = self.vertex;
+        obs::counter!("spdag.touches").inc();
+        obs::trace::record(obs::EventKind::FutureTouch, u as *const Vertex<C> as u64);
         let core = Arc::clone(&future.core);
         let body: Body<C> = Box::new(move |c: Ctx<'_, C>| {
             // SAFETY: this vertex is scheduled only by the completion

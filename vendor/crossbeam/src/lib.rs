@@ -1,62 +1,81 @@
 //! Std-only shim for the `crossbeam::epoch` surface this workspace uses
-//! (see `vendor/README.md`): [`epoch::pin`], [`epoch::Guard::defer_unchecked`]
-//! and [`epoch::Guard::flush`].
+//! (see `vendor/README.md`): [`epoch::pin`], [`epoch::Domain`],
+//! [`epoch::Guard::defer_unchecked`] and [`epoch::Guard::flush`].
 //!
 //! ## Reclamation model
 //!
-//! Instead of full epoch-based reclamation, the shim tracks a pin count and
-//! a queue of deferred destructors. A destructor runs only at a moment when
-//! the pin count is **zero**, observed while holding the queue lock (under
-//! which all enqueues also happen, and enqueuers are pinned). This is
-//! strictly more conservative than epochs: a deferred destructor enqueued
-//! while some guard `g` was pinned cannot run before `g` drops, because the
-//! count cannot reach zero earlier. The cost is laziness — under permanent
-//! pinning pressure garbage accumulates until the next quiescent instant
-//! (and anything still queued at process exit is simply never freed, which
-//! the OS reclaims).
+//! Instead of full epoch-based reclamation, the shim tracks a pin count
+//! and a queue of deferred destructors. A destructor runs only at a
+//! moment when the pin count is **zero**, observed while holding the
+//! queue lock (under which all enqueues also happen, and enqueuers are
+//! pinned). This is strictly more conservative than epochs: a deferred
+//! destructor enqueued while some guard `g` was pinned cannot run before
+//! `g` drops, because the count cannot reach zero earlier. The cost is
+//! laziness — under permanent pinning pressure garbage accumulates until
+//! the next quiescent instant (and anything still queued when the domain
+//! drops runs then, under exclusive access).
+//!
+//! ## Domains
+//!
+//! Pin counts and garbage queues are scoped to an [`epoch::Domain`]. The
+//! free function [`epoch::pin`] pins a process-wide default domain (the
+//! original shim behavior); data structures that pin on their hot path —
+//! the out-set's adaptive lane table pins once per `add` — can own a
+//! domain so that (a) their pin stripes are not shared with unrelated
+//! structures and (b) a long-pinned guard elsewhere in the process can
+//! no longer delay their reclamation (and vice versa). A [`epoch::Guard`]
+//! borrows its domain, which is what makes `Domain::drop`'s unconditional
+//! garbage drain sound: a live guard implies a live borrow.
 //!
 //! ## Contention
 //!
-//! The pin count is **striped**: each thread hashes onto one of
-//! [`epoch::PIN_STRIPES`] cache-line-padded counters, so `pin`/`unpin` from
-//! `W` threads cost two read-modify-writes on a line shared by `≈ W/S`
-//! threads rather than all `W` — this matters because the out-set's
-//! adaptive lane table pins once per `add` on its hot path (see
-//! `docs/outset-contention.md`, which accounts for this term). Quiescence
-//! is observed by scanning every stripe under the queue lock; the safety
-//! argument is per-guard: a guard alive when a destructor was enqueued
-//! either is still alive when its stripe is scanned (non-zero read, so the
-//! collection aborts) or has already dropped (and no longer accesses the
-//! retired memory). Stripes are scanned only under the lock that also
-//! serializes enqueues, so no destructor enqueued mid-scan can join the
-//! batch being collected.
+//! The pin count is **striped**: each thread hashes onto one of the
+//! domain's cache-line-padded counters ([`epoch::PIN_STRIPES`] for the
+//! default domain), so `pin`/`unpin` from `W` threads cost two
+//! read-modify-writes on a line shared by `≈ W/S` threads rather than
+//! all `W` (see `docs/outset-contention.md`, which accounts for this
+//! term). Quiescence is observed by scanning every stripe under the
+//! queue lock; the safety argument is per-guard: a guard alive when a
+//! destructor was enqueued either is still alive when its stripe is
+//! scanned (non-zero read, so the collection aborts) or has already
+//! dropped (and no longer accesses the retired memory). Stripes are
+//! scanned only under the lock that also serializes enqueues, so no
+//! destructor enqueued mid-scan can join the batch being collected.
 
 pub mod epoch {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use std::sync::{Mutex, OnceLock};
 
-    /// Number of cache-line-padded pin-count stripes.
+    /// Pin-count stripes in the default (process-wide) domain.
     pub const PIN_STRIPES: usize = 16;
 
     #[repr(align(128))]
     struct Stripe(AtomicUsize);
 
-    #[allow(clippy::declare_interior_mutable_const)]
-    const STRIPE_INIT: Stripe = Stripe(AtomicUsize::new(0));
-    static PINS: [Stripe; PIN_STRIPES] = [STRIPE_INIT; PIN_STRIPES];
-    static GARBAGE: Mutex<Vec<Deferred>> = Mutex::new(Vec::new());
-    /// Mirror of `GARBAGE.len()`, so the unpin fast path can skip the
-    /// queue mutex entirely when nothing is deferred. With per-thread
-    /// stripes almost every unpin takes its stripe to zero, so without
-    /// this check every unpin — i.e. every out-set `add` — would acquire
-    /// the one global lock.
-    static GARBAGE_COUNT: AtomicUsize = AtomicUsize::new(0);
     static STRIPE_SEED: AtomicUsize = AtomicUsize::new(0);
 
     std::thread_local! {
-        /// This thread's stripe index, assigned round-robin at first pin.
-        static MY_STRIPE: usize =
-            STRIPE_SEED.fetch_add(1, Ordering::Relaxed) % PIN_STRIPES;
+        /// This thread's stripe seed, assigned round-robin at first pin
+        /// (`usize::MAX` = unassigned) and reduced modulo each domain's
+        /// stripe count. Const-initialized so the slot has no destructor
+        /// and pinning pays a plain TLS load, not a lazy-init check.
+        static MY_SEED: std::cell::Cell<usize> =
+            const { std::cell::Cell::new(usize::MAX) };
+    }
+
+    fn my_seed() -> usize {
+        MY_SEED
+            .try_with(|s| {
+                let v = s.get();
+                if v != usize::MAX {
+                    v
+                } else {
+                    let v = STRIPE_SEED.fetch_add(1, Ordering::Relaxed);
+                    s.set(v);
+                    v
+                }
+            })
+            .unwrap_or(0)
     }
 
     /// A deferred destructor. The `Send` promise is the caller's (that is
@@ -64,72 +83,156 @@ pub mod epoch {
     struct Deferred(Box<dyn FnOnce()>);
     unsafe impl Send for Deferred {}
 
-    /// An RAII pin on the current "epoch": deferred destructors enqueued
-    /// while any guard is alive will not run until no guard is alive.
-    pub struct Guard {
+    /// An isolated reclamation scope: its own pin stripes and its own
+    /// garbage queue. Guards borrow the domain they pinned.
+    pub struct Domain {
+        stripes: Box<[Stripe]>,
+        garbage: Mutex<Vec<Deferred>>,
+        /// Mirror of `garbage.len()`, so the unpin fast path can skip the
+        /// queue mutex entirely when nothing is deferred. With per-thread
+        /// stripes almost every unpin takes its stripe to zero, so without
+        /// this check every unpin — i.e. every out-set `add` — would
+        /// acquire the queue lock.
+        garbage_count: AtomicUsize,
+    }
+
+    impl Domain {
+        /// A domain with the default stripe count ([`PIN_STRIPES`]).
+        pub fn new() -> Domain {
+            Domain::with_stripes(PIN_STRIPES)
+        }
+
+        /// A domain with `stripes` pin-count stripes (≥ 1). Fewer
+        /// stripes cost less memory (one padded cache line each) at
+        /// `≈ W/stripes` pin contention — the right trade for a domain
+        /// owned by a single data structure.
+        pub fn with_stripes(stripes: usize) -> Domain {
+            let stripes = stripes.max(1);
+            Domain {
+                stripes: (0..stripes).map(|_| Stripe(AtomicUsize::new(0))).collect(),
+                garbage: Mutex::new(Vec::new()),
+                garbage_count: AtomicUsize::new(0),
+            }
+        }
+
+        /// Pin the current thread in this domain.
+        pub fn pin(&self) -> Guard<'_> {
+            let stripe = my_seed() % self.stripes.len();
+            self.stripes[stripe].0.fetch_add(1, Ordering::SeqCst);
+            obs::counter!("epoch.pins").inc();
+            Guard { domain: self, stripe, _not_send: std::marker::PhantomData }
+        }
+
+        /// Number of destructors currently queued.
+        pub fn pending(&self) -> usize {
+            self.garbage_count.load(Ordering::SeqCst)
+        }
+
+        /// Heap bytes owned by this domain's stripe array (the garbage
+        /// queue's transient capacity is not counted).
+        pub fn footprint_bytes(&self) -> usize {
+            std::mem::size_of::<Domain>() + self.stripes.len() * std::mem::size_of::<Stripe>()
+        }
+
+        fn collect(&self) {
+            // Re-check every stripe *under the lock*: enqueues happen
+            // under this lock and only from pinned threads. A guard alive
+            // at some enqueue either still holds its stripe non-zero when
+            // scanned (abort) or has already dropped; either way no
+            // destructor in the batch can race a guard that protected it.
+            let batch: Vec<Deferred> = {
+                let mut q = match self.garbage.lock() {
+                    Ok(q) => q,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                if q.is_empty() || self.stripes.iter().any(|s| s.0.load(Ordering::SeqCst) != 0) {
+                    return;
+                }
+                self.garbage_count.fetch_sub(q.len(), Ordering::SeqCst);
+                std::mem::take(&mut *q)
+            };
+            obs::counter!("epoch.collects").inc();
+            for Deferred(f) in batch {
+                f();
+            }
+        }
+    }
+
+    impl Default for Domain {
+        fn default() -> Domain {
+            Domain::new()
+        }
+    }
+
+    impl Drop for Domain {
+        fn drop(&mut self) {
+            // `&mut self` proves no guard borrows this domain, so every
+            // queued destructor is safe to run now.
+            let batch = std::mem::take(match self.garbage.get_mut() {
+                Ok(q) => q,
+                Err(poisoned) => poisoned.into_inner(),
+            });
+            self.garbage_count.store(0, Ordering::SeqCst);
+            for Deferred(f) in batch {
+                f();
+            }
+        }
+    }
+
+    /// An RAII pin on its domain: deferred destructors enqueued in the
+    /// domain while any of its guards is alive will not run until none is.
+    pub struct Guard<'d> {
+        domain: &'d Domain,
         stripe: usize,
         _not_send: std::marker::PhantomData<*mut ()>,
     }
 
-    /// Pin the current thread.
-    pub fn pin() -> Guard {
-        let stripe = MY_STRIPE.with(|s| *s);
-        PINS[stripe].0.fetch_add(1, Ordering::SeqCst);
-        Guard { stripe, _not_send: std::marker::PhantomData }
+    /// Pin the current thread in the process-wide default domain.
+    pub fn pin() -> Guard<'static> {
+        default_domain().pin()
     }
 
-    impl Guard {
-        /// Defer `f` until every guard alive now (including this one) has
-        /// dropped.
+    /// The process-wide domain used by [`pin`].
+    pub fn default_domain() -> &'static Domain {
+        static DEFAULT: OnceLock<Domain> = OnceLock::new();
+        DEFAULT.get_or_init(Domain::new)
+    }
+
+    impl Guard<'_> {
+        /// Defer `f` until every guard of this domain alive now
+        /// (including this one) has dropped.
         ///
         /// # Safety
-        /// `f` must be safe to call from any thread once all currently
-        /// pinned guards have unpinned (the upstream contract).
+        /// `f` must be safe to call from any thread once all guards of
+        /// this domain pinned now have unpinned (the upstream contract).
         pub unsafe fn defer_unchecked<F: FnOnce()>(&self, f: F) {
             let boxed: Box<dyn FnOnce() + '_> = Box::new(f);
             // Extend the captures' lifetime to 'static; soundness is the
             // caller's contract above (upstream has the same obligation).
             let boxed: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(boxed) };
-            GARBAGE.lock().unwrap().push(Deferred(boxed));
+            match self.domain.garbage.lock() {
+                Ok(mut q) => q.push(Deferred(boxed)),
+                Err(poisoned) => poisoned.into_inner().push(Deferred(boxed)),
+            }
             // Count *after* enqueuing (and while still pinned): an unpin
             // that misses this increment at worst skips a collection that
             // the enqueuer's own unpin will re-attempt.
-            GARBAGE_COUNT.fetch_add(1, Ordering::SeqCst);
+            self.domain.garbage_count.fetch_add(1, Ordering::SeqCst);
+            obs::counter!("epoch.deferred").inc();
         }
 
         /// Encourage collection (a no-op beyond what [`Drop`] already does).
         pub fn flush(&self) {}
     }
 
-    impl Drop for Guard {
+    impl Drop for Guard<'_> {
         fn drop(&mut self) {
-            if PINS[self.stripe].0.fetch_sub(1, Ordering::SeqCst) == 1
-                && GARBAGE_COUNT.load(Ordering::SeqCst) != 0
+            obs::counter!("epoch.unpins").inc();
+            if self.domain.stripes[self.stripe].0.fetch_sub(1, Ordering::SeqCst) == 1
+                && self.domain.garbage_count.load(Ordering::SeqCst) != 0
             {
-                collect();
+                self.domain.collect();
             }
-        }
-    }
-
-    fn collect() {
-        // Re-check every stripe *under the lock*: enqueues happen under
-        // this lock and only from pinned threads. A guard alive at some
-        // enqueue either still holds its stripe non-zero when scanned
-        // (abort) or has already dropped; either way no destructor in the
-        // batch can race a guard that protected it.
-        let batch: Vec<Deferred> = {
-            let mut q = match GARBAGE.lock() {
-                Ok(q) => q,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            if q.is_empty() || PINS.iter().any(|s| s.0.load(Ordering::SeqCst) != 0) {
-                return;
-            }
-            GARBAGE_COUNT.fetch_sub(q.len(), Ordering::SeqCst);
-            std::mem::take(&mut *q)
-        };
-        for Deferred(f) in batch {
-            f();
         }
     }
 
@@ -139,8 +242,9 @@ pub mod epoch {
         use std::sync::atomic::AtomicBool;
         use std::sync::Arc;
 
-        // The pin count is process-global, so tests that assert on exact
-        // collection instants must not run concurrently with each other.
+        // The default domain's pin count is process-global, so tests that
+        // assert on exact collection instants must not run concurrently
+        // with each other.
         static TEST_LOCK: Mutex<()> = Mutex::new(());
 
         #[test]
@@ -201,6 +305,54 @@ pub mod epoch {
             remote.join().unwrap();
             // The remote unpin was the last: it collected.
             assert!(ran.load(Ordering::SeqCst));
+        }
+
+        #[test]
+        fn domains_are_isolated() {
+            // A pinned guard in one domain (or the default domain) must
+            // not delay reclamation in another.
+            let _default_pin = pin();
+            let a = Domain::with_stripes(2);
+            let b = Domain::with_stripes(2);
+            let _b_pin = b.pin();
+            let ran = Arc::new(AtomicBool::new(false));
+            {
+                let g = a.pin();
+                let r = Arc::clone(&ran);
+                unsafe { g.defer_unchecked(move || r.store(true, Ordering::SeqCst)) };
+            }
+            assert!(
+                ran.load(Ordering::SeqCst),
+                "domain A was quiescent; pins elsewhere must not block it"
+            );
+        }
+
+        #[test]
+        fn domain_drop_drains_garbage() {
+            let ran = Arc::new(AtomicBool::new(false));
+            let other = Domain::new();
+            let _other_pin = other.pin();
+            {
+                let d = Domain::with_stripes(1);
+                let keep_pinned = d.pin();
+                {
+                    let g = d.pin();
+                    let r = Arc::clone(&ran);
+                    unsafe { g.defer_unchecked(move || r.store(true, Ordering::SeqCst)) };
+                }
+                assert!(!ran.load(Ordering::SeqCst), "still pinned: must stay queued");
+                assert_eq!(d.pending(), 1);
+                drop(keep_pinned);
+                // keep_pinned's unpin collected (stripe hit zero).
+                assert!(ran.load(Ordering::SeqCst));
+                let r = Arc::new(AtomicBool::new(false));
+                let g = d.pin();
+                let r2 = Arc::clone(&r);
+                unsafe { g.defer_unchecked(move || r2.store(true, Ordering::SeqCst)) };
+                std::mem::forget(g); // never unpins: only Drop can free this now
+                drop(d);
+                assert!(r.load(Ordering::SeqCst), "Domain::drop must drain the queue");
+            }
         }
     }
 }
