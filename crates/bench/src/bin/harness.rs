@@ -1,14 +1,17 @@
 //! The evaluation harness: regenerates every figure of the paper.
 //!
 //! ```text
-//! harness <fig8|...|fig15|outset|growth|all|obs|trace> [flags]
+//! harness <fig8|...|fig15|outset|growth|recycle|all|obs|trace> [flags]
 //!
-//! `obs` and `trace` are telemetry subcommands (never part of `all`):
-//! `obs` prints one unified registry snapshot of a fanout-broadcast run
-//! (with `--assert-bound` it also recomputes the paper's per-add
-//! contention bound and fails if violated); `trace` records the run and
-//! writes Chrome Trace Event Format JSON to `--out` (see
-//! `docs/observability.md`).
+//! `obs`, `trace` and `recycle` are study subcommands (never part of
+//! `all`): `obs` prints one unified registry snapshot of a
+//! fanout-broadcast run (with `--assert-bound` it also recomputes the
+//! paper's per-add contention bound, the block-recycling conservation
+//! identity, and the pipeline steady-state footprint, failing if any is
+//! violated); `trace` records the run and writes Chrome Trace Event
+//! Format JSON to `--out` (see `docs/observability.md`); `recycle` A/B's
+//! `pipeline_stages` and `fanout_broadcast` with slab recycling on vs
+//! off and writes a machine-checkable JSON summary next to the results.
 //!
 //! flags:
 //!   --n <N>            benchmark size (default: 131072; paper: 8388608)
@@ -34,8 +37,9 @@ use dynsnzi_bench::report::{fmt_throughput, print_row, Record, Reporter};
 use dynsnzi_bench::sweep::{median_duration, run_repeated, throughput_per_core, MeasureOpts};
 use dynsnzi_bench::workloads::{
     calibrate_dummy_unit_ns, fanin_ops, fanout_broadcast, fanout_broadcast_ops,
-    fanout_broadcast_probed, indegree2_ops, outset_footprint_report, pipeline_stages_ops,
-    raw_counter_bench, raw_growth_bench, raw_outset_bench, GrowthStats, RawCounter, RawOutset,
+    fanout_broadcast_probed, indegree2_ops, outset_footprint_report, pipeline_stages,
+    pipeline_stages_ops, raw_counter_bench, raw_growth_bench, raw_outset_bench, GrowthStats,
+    RawCounter, RawOutset,
 };
 use dynsnzi_bench::Algo;
 use incounter::{DynConfig, DynSnzi};
@@ -89,7 +93,7 @@ fn parse_args() -> Opts {
                 std::process::exit(0);
             }
             fig if fig.starts_with("fig")
-                || matches!(fig, "all" | "outset" | "growth" | "obs" | "trace") =>
+                || matches!(fig, "all" | "outset" | "growth" | "recycle" | "obs" | "trace") =>
             {
                 figures.push(fig.to_string())
             }
@@ -157,6 +161,9 @@ fn main() {
     if explicit("trace") {
         trace_cmd(&opts);
     }
+    if explicit("recycle") {
+        recycle_study(&opts);
+    }
 }
 
 /// `harness obs`: run the fanout broadcast with the whole runtime's
@@ -180,9 +187,66 @@ fn obs_cmd(opts: &Opts) {
         growth.final_lanes,
         growth.splits
     );
-    if opts.assert_bound && !check_contention_bounds(&d, w) {
-        std::process::exit(1);
+    if opts.assert_bound {
+        let contention_ok = check_contention_bounds(&d, w);
+        let recycle_ok = check_recycle_bounds(opts);
+        if !(contention_ok && recycle_ok) {
+            std::process::exit(1);
+        }
     }
+}
+
+/// Recompute the block-recycling accounting of `outset::recycle` on a
+/// fresh quiesced workload, plus the steady-state footprint claim on the
+/// pipeline: a second identically-shaped `pipeline_stages` run must be
+/// fed from the blocks the first retired (reuse-dominated) and must not
+/// keep growing the free list (its size tracks peak-live blocks, not
+/// cumulative churn). Returns whether everything passed.
+fn check_recycle_bounds(opts: &Opts) -> bool {
+    let w = opts.measure.max_workers;
+    let n = (opts.measure.n / 4).max(1 << 10);
+    let (stages, width) = (32u64, (n / 64).max(16));
+    let cfg = || DynConfig::with_threshold(Algo::default_threshold(w));
+    println!("\n## Recycling accounting — pipeline_stages {stages}x{width}, workers={w}");
+
+    let mut all_ok = true;
+    let mut check = |name: &str, pass: bool, detail: String| {
+        println!("  [{}] {name}: {detail}", if pass { "ok  " } else { "FAIL" });
+        all_ok &= pass;
+    };
+
+    let before = obs::Snapshot::take();
+    pipeline_stages::<DynSnzi, outset::TreeOutset>(cfg(), w, stages, width); // warm the pool
+    let warm_cached = outset::recycle::cached_blocks();
+    let mid = obs::Snapshot::take();
+    pipeline_stages::<DynSnzi, outset::TreeOutset>(cfg(), w, stages, width);
+    let steady = obs::Snapshot::take().diff(&mid);
+    let total = obs::Snapshot::take().diff(&before);
+
+    if !obs::enabled() || total.is_empty() {
+        println!("  (telemetry compiled out; gauge-only checks)");
+    } else {
+        // Both snapshot boundaries are quiescent (runs joined, domains
+        // drained, worker caches flushed), so births equal deaths.
+        let born = total.counter("outset.blocks_allocated") + total.counter("outset.blocks_reused");
+        let dead = total.counter("outset.blocks_recycled") + total.counter("outset.blocks_dropped");
+        check("block-conservation", born == dead, format!("born {born} == dead {dead}"));
+        let (reused, allocated) =
+            (steady.counter("outset.blocks_reused"), steady.counter("outset.blocks_allocated"));
+        check(
+            "steady-state-reuse",
+            reused >= allocated,
+            format!("warm run: reused {reused} >= freshly allocated {allocated}"),
+        );
+    }
+    let cached = outset::recycle::cached_blocks();
+    check(
+        "footprint-ceiling",
+        cached <= 2 * warm_cached + 64,
+        format!("free list {cached} blocks <= 2 x warm {warm_cached} + 64 (peak-live, not churn)"),
+    );
+    println!("# recycling checks: {}", if all_ok { "PASS" } else { "FAIL" });
+    all_ok
 }
 
 /// Recompute the paper's Section-4-style amortized contention bound for
@@ -276,6 +340,107 @@ fn trace_cmd(opts: &Opts) {
     );
     if !obs::enabled() {
         println!("(telemetry compiled out — the trace is empty)");
+    }
+}
+
+/// `harness recycle`: the slab-recycling A/B study. Each workload runs
+/// with recycling on and (in a separate configuration, pool drained in
+/// between) off; the table and `results/recycle.json` report wall clock,
+/// the block counters accumulated across warm-up + measured runs, and
+/// the recycler's standby footprint after the configuration quiesced.
+/// The JSON is the machine-checkable artifact CI validates.
+fn recycle_study(opts: &Opts) {
+    let w = opts.measure.max_workers;
+    let n = (opts.measure.n / 4).max(1 << 10);
+    let (stages, width) = (32u64, (n / 64).max(16));
+    let mut rep = Reporter::create(&opts.outdir, "recycle").expect("results dir");
+    println!("\n## Recycle study — slab recycling A/B, workers={w}");
+    print_row(&[
+        "workload / recycling".to_string(),
+        "wall (s)".to_string(),
+        "fresh allocs".to_string(),
+        "reused".to_string(),
+        "recycled".to_string(),
+        "cached after".to_string(),
+    ]);
+    let cfg = || DynConfig::with_threshold(Algo::default_threshold(w));
+    let mut configs = String::new();
+    type Runner<'a> = (&'a str, Box<dyn Fn() -> Duration + 'a>);
+    let workloads: [Runner<'_>; 2] = [
+        (
+            "pipeline_stages",
+            Box::new(move || {
+                pipeline_stages::<DynSnzi, outset::TreeOutset>(cfg(), w, stages, width)
+            }),
+        ),
+        (
+            "fanout_broadcast",
+            Box::new(move || fanout_broadcast::<DynSnzi, outset::TreeOutset>(cfg(), w, n)),
+        ),
+    ];
+    for (name, runner) in &workloads {
+        for recycling in [true, false] {
+            let prev = outset::recycle::set_enabled(recycling);
+            let before = obs::Snapshot::take();
+            let elapsed = measure(opts.measure.runs, runner);
+            let d = obs::Snapshot::take().diff(&before);
+            outset::recycle::set_enabled(prev);
+            let cached_blocks = outset::recycle::cached_blocks();
+            let cached_bytes = outset::recycle::cached_bytes();
+            let (allocated, reused, recycled) = (
+                d.counter("outset.blocks_allocated"),
+                d.counter("outset.blocks_reused"),
+                d.counter("outset.blocks_recycled"),
+            );
+            print_row(&[
+                format!("{name} / {}", if recycling { "on" } else { "off" }),
+                format!("{:.6}", elapsed.as_secs_f64()),
+                allocated.to_string(),
+                reused.to_string(),
+                recycled.to_string(),
+                cached_blocks.to_string(),
+            ]);
+            let mut r = Record::new("recycle-study", "outset-tree-adaptive");
+            r.input("workload", name)
+                .input("proc", w)
+                .input("recycling", recycling)
+                .input("n", n)
+                .input("stages", stages)
+                .input("width", width);
+            r.output("exectime", format!("{:.6}", elapsed.as_secs_f64()))
+                .output("blocks_allocated", allocated)
+                .output("blocks_reused", reused)
+                .output("blocks_recycled", recycled)
+                .output("cached_blocks_after", cached_blocks);
+            rep.record(&r);
+            if !configs.is_empty() {
+                configs.push_str(",\n");
+            }
+            configs.push_str(&format!(
+                "    {{\"workload\": \"{name}\", \"recycling\": {recycling}, \
+                 \"wall_s\": {:.6}, \"blocks_allocated\": {allocated}, \
+                 \"blocks_reused\": {reused}, \"blocks_recycled\": {recycled}, \
+                 \"cached_blocks_after\": {cached_blocks}, \
+                 \"cached_bytes_after\": {cached_bytes}}}",
+                elapsed.as_secs_f64()
+            ));
+            // Drain the pool so the next configuration starts cold and
+            // the off-mode numbers are not flattered by a warm cache.
+            outset::recycle::flush_thread_cache();
+            outset::recycle::trim();
+        }
+    }
+    let json = format!(
+        "{{\n  \"workers\": {w},\n  \"runs\": {},\n  \"telemetry\": {},\n  \"configs\": [\n{configs}\n  ]\n}}\n",
+        opts.measure.runs,
+        obs::enabled()
+    );
+    let path = opts.outdir.join("recycle.json");
+    std::fs::create_dir_all(&opts.outdir).expect("results dir");
+    std::fs::write(&path, json).expect("write recycle.json");
+    println!("# wrote {} and {}", rep.path().display(), path.display());
+    if !obs::enabled() {
+        println!("(telemetry compiled out — block counters read zero; wall clock still valid)");
     }
 }
 
@@ -735,13 +900,20 @@ fn growth_study(opts: &Opts) {
         f.fixed_fresh.to_string(),
         f.fixed_one_add.to_string(),
     ]);
+    print_row(&[
+        format!("recycler standby ({} blocks, process-wide)", f.recycler_cached_blocks),
+        f.recycler_cached_bytes.to_string(),
+        f.recycler_cached_bytes.to_string(),
+    ]);
     let mut r = Record::new("outset-footprint", "outset-tree-adaptive");
     r.input("fixed_lanes", f.fixed_lanes);
     r.output("adaptive_fresh_bytes", f.adaptive_fresh)
         .output("adaptive_one_add_bytes", f.adaptive_one_add)
         .output("adaptive_domain_bytes", f.adaptive_domain)
         .output("fixed_fresh_bytes", f.fixed_fresh)
-        .output("fixed_one_add_bytes", f.fixed_one_add);
+        .output("fixed_one_add_bytes", f.fixed_one_add)
+        .output("recycler_cached_blocks", f.recycler_cached_blocks)
+        .output("recycler_cached_bytes", f.recycler_cached_bytes);
     rep.record(&r);
     println!("# wrote {}", rep.path().display());
 }

@@ -409,6 +409,13 @@ pub fn fanout_broadcast_probed<C: CounterFamily>(
 /// Heap footprints contrasting the adaptive single-lane start against the
 /// superseded fixed default (hardware threads, capped at 16) — the
 /// "single-dependent futures pay one word" claim, in bytes.
+///
+/// Live bytes (blocks linked into an out-set) and recycler bytes (blocks
+/// sitting free in the slab pool, ready for reuse) are reported
+/// **separately**: cached-but-free memory is a process-wide standby cost
+/// bounded by peak-live, not a per-out-set cost, and folding it into the
+/// per-object numbers would misattribute it to whichever out-set was
+/// measured last.
 #[derive(Clone, Copy, Debug)]
 pub struct FootprintReport {
     /// A fresh adaptive out-set (1 lane, no blocks, private epoch domain).
@@ -425,6 +432,12 @@ pub struct FootprintReport {
     pub fixed_fresh: usize,
     /// The same, holding one registered dependent.
     pub fixed_one_add: usize,
+    /// Blocks sitting free in the block recycler when the report was
+    /// taken — standby memory, **not** part of any out-set's live bytes.
+    pub recycler_cached_blocks: usize,
+    /// The same standby pool in bytes
+    /// (`recycler_cached_blocks × block size`).
+    pub recycler_cached_bytes: usize,
 }
 
 /// Measure [`FootprintReport`] on this machine.
@@ -447,6 +460,8 @@ pub fn outset_footprint_report() -> FootprintReport {
         fixed_lanes,
         fixed_fresh,
         fixed_one_add,
+        recycler_cached_blocks: outset::recycle::cached_blocks(),
+        recycler_cached_bytes: outset::recycle::cached_bytes(),
     }
 }
 
@@ -640,6 +655,14 @@ mod tests {
                 "a multi-lane fixed table costs more than the single-lane start"
             );
         }
+        // The recycler's standby pool is reported in its own columns,
+        // never folded into the per-out-set live bytes (whose values
+        // above are pure shape arithmetic, pool warm or cold).
+        assert_eq!(
+            r.recycler_cached_bytes,
+            r.recycler_cached_blocks * outset::recycle::block_bytes(),
+            "cached bytes must be cached blocks x block size"
+        );
     }
 
     #[test]

@@ -30,11 +30,14 @@ pub enum EventKind {
     /// span covering the out-set sweep + ready pushes; arg = dependents
     /// resolved.
     FutureFulfill = 10,
+    /// A swept slot block was poisoned and pushed into the recycler
+    /// (`outset`); arg = blocks cached after the push.
+    BlockRecycle = 11,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::Spawn,
         EventKind::Chain,
         EventKind::Steal,
@@ -45,6 +48,7 @@ impl EventKind {
         EventKind::FutureCreate,
         EventKind::FutureTouch,
         EventKind::FutureFulfill,
+        EventKind::BlockRecycle,
     ];
 
     /// Stable display name (also the Chrome trace event name).
@@ -60,6 +64,7 @@ impl EventKind {
             EventKind::FutureCreate => "future_create",
             EventKind::FutureTouch => "future_touch",
             EventKind::FutureFulfill => "future_fulfill",
+            EventKind::BlockRecycle => "block_recycle",
         }
     }
 
@@ -68,7 +73,9 @@ impl EventKind {
         match self {
             EventKind::Spawn | EventKind::Chain => "spdag",
             EventKind::Steal | EventKind::Park => "sched",
-            EventKind::LaneSplit | EventKind::Seal | EventKind::Sweep => "outset",
+            EventKind::LaneSplit | EventKind::Seal | EventKind::Sweep | EventKind::BlockRecycle => {
+                "outset"
+            }
             EventKind::FutureCreate | EventKind::FutureTouch | EventKind::FutureFulfill => "future",
         }
     }

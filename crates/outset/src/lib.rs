@@ -39,6 +39,11 @@
 //! probabilistic `grow`. See [`tree`] for the mechanism and
 //! `docs/outset-contention.md` for the contention accounting.
 //!
+//! Swept slot blocks are **recycled**: `finish` retires each block
+//! through the out-set's epoch domain into per-worker slab caches (the
+//! [`recycle`] module holds the switch and the probes), so steady-state
+//! future churn reaches zero allocator traffic.
+//!
 //! ```
 //! use outset::{AddEdge, OutsetFamily, TreeOutset};
 //!
@@ -56,6 +61,7 @@
 
 pub mod growth;
 pub mod mutex;
+pub mod recycle;
 pub mod tree;
 
 pub use growth::GrowthPolicy;
@@ -78,11 +84,11 @@ pub enum AddEdge {
 /// A family of out-set implementations, generically drivable by the dag
 /// runtime and the benchmarks.
 ///
-/// Tokens are arbitrary `u64` payloads except the two top values
-/// (`u64::MAX`, `u64::MAX - 1`), which the slot-based implementation
-/// reserves for its slot states; [`OutsetFamily::add`] panics on them.
-/// The dag runtime stores vertex addresses, which can never collide with
-/// those.
+/// Tokens are arbitrary `u64` payloads except the three top values
+/// (`u64::MAX - 2 ..= u64::MAX`), which the slot-based implementation
+/// reserves for its slot states and the recycler's poison stamp;
+/// [`OutsetFamily::add`] panics on them. The dag runtime stores vertex
+/// addresses, which can never collide with those.
 pub trait OutsetFamily: 'static {
     /// The per-vertex out-set object.
     type Outset: Send + Sync;

@@ -80,14 +80,39 @@
 //! their installing adders, which by the argument above observe the seal
 //! on their re-check and deliver inline.
 //!
-//! ## Memory
+//! ## Memory and block recycling
 //!
-//! `Lane`s and `Block`s are freed in `Drop`, through the newest table
-//! (which, by monotonicity, points to every lane ever allocated);
-//! superseded tables are freed by the epoch shim at quiescent instants.
-//! The out-set is expected to be shared via `Arc` by the completing
-//! vertex and all edge-adding handles, so no add or finish can race the
-//! destructor.
+//! A recycling out-set's `finish` takes each lane's whole block chain
+//! (one `swap` of the lane head), sweeps it, and **retires** every block
+//! through the out-set's private epoch domain: once every guard pinned
+//! at retirement has dropped, the block is poisoned (`POISON` written
+//! into every slot, generation stamp bumped to odd) and pushed into the
+//! per-worker slab caches (`sched::slab`) that block allocation prefers
+//! — so a future's blocks are reusable the moment its completion sweep
+//! quiesces, not when its last handle drops, and steady-state future
+//! churn reaches zero allocator traffic. The slot protocol guarantees
+//! that by retirement time every slot is `EMPTY` or `SWEPT` (the sweep
+//! or the adder's inline path delivered every token), and `retire`/
+//! `reset` debug-assert it: a stale write into a freed or cached block
+//! trips the poison check on its next reuse instead of corrupting a
+//! later out-set.
+//!
+//! The epoch deferral is also the ABA argument: an adder pins **across
+//! claim and publish** (not just the table access), so a block it read
+//! from a lane head cannot be recycled — let alone reused and
+//! re-installed at the same lane index, where the adder's stale
+//! `compare_exchange` on the head would otherwise cross-link two
+//! out-sets — until the adder unpins. Frozen out-sets (no domain, no
+//! pins) never recycle; the process-wide default is captured per object
+//! at construction (see [`crate::recycle`]).
+//!
+//! Whatever is still linked at `Drop` — everything for non-recycling
+//! sets, only post-seal straggler blocks for recycling ones — is freed
+//! through the newest table (which, by monotonicity, points to every
+//! lane ever allocated); superseded tables are freed by the epoch shim
+//! at quiescent instants. The out-set is expected to be shared via `Arc`
+//! by the completing vertex and all edge-adding handles, so no add or
+//! finish can race the destructor.
 
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
@@ -97,10 +122,18 @@ use snzi::Probability;
 use crate::growth::BLOCK_SLOTS;
 use crate::{AddEdge, GrowthPolicy, OutsetFamily};
 
-/// Slot states: anything `>= TOKEN_BIAS` is a biased token.
+/// Slot states: anything in `TOKEN_BIAS..POISON` is a biased token.
 const EMPTY: u64 = 0;
 const SWEPT: u64 = 1;
 const TOKEN_BIAS: u64 = 2;
+/// Written into every slot of a retired block while it sits in the
+/// recycler. The live protocol never stores it (`MAX_TOKEN` keeps biased
+/// tokens below), so a sweep reading `POISON` — or a reuse *not* reading
+/// it — is a reclamation bug caught by the debug asserts in
+/// `Block::retire`/`Block::reset`.
+const POISON: u64 = u64::MAX;
+/// Largest accepted token: `MAX_TOKEN + TOKEN_BIAS < POISON`.
+const MAX_TOKEN: u64 = u64::MAX - 3;
 
 /// Pin-count stripes in each growable out-set's private epoch domain.
 /// Fewer than the default domain's 16: the domain serves one structure,
@@ -121,6 +154,10 @@ struct Block {
     /// Slot cursor; values past `BLOCK_SLOTS` mean "this block was full,
     /// the adder moved on" and are harmless.
     claimed: AtomicUsize,
+    /// Reclamation stamp: bumped to odd by `retire`, back to even by
+    /// `reset`, so the debug asserts can tell a live block from a cached
+    /// one across arbitrarily many reuse cycles.
+    generation: AtomicU64,
     slots: [AtomicU64; BLOCK_SLOTS],
 }
 
@@ -129,9 +166,90 @@ impl Block {
         Box::new(Block {
             next,
             claimed: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
             slots: std::array::from_fn(|_| AtomicU64::new(EMPTY)),
         })
     }
+
+    /// Poison `block` and hand it to the recycler.
+    ///
+    /// # Safety
+    /// `block` must be unlinked and quiescent: no adder or sweeper can
+    /// still reach it. The epoch deferral provides this for
+    /// sweep-retired blocks (an adder that could hold the block holds a
+    /// pin across its whole claim + publish, and the deferral outwaits
+    /// it — by which time the slot protocol has emptied every slot);
+    /// install-race losers never published theirs.
+    unsafe fn retire(block: *mut Block) {
+        // SAFETY: exclusive access per the contract above.
+        unsafe {
+            let stamp = (*block).generation.fetch_add(1, Ordering::Relaxed);
+            debug_assert_eq!(stamp % 2, 0, "double retirement of a slot block");
+            for slot in &(*block).slots {
+                let prev = slot.swap(POISON, Ordering::SeqCst);
+                debug_assert!(
+                    prev < TOKEN_BIAS,
+                    "retired a slot block still holding an undelivered token"
+                );
+            }
+            (*block).next = std::ptr::null_mut();
+        }
+        obs::counter!("outset.blocks_recycled").inc();
+        let pool = block_pool();
+        let spilled = pool.release(block as *mut u8);
+        if spilled > 0 {
+            obs::counter!("outset.blocks_overflowed").add(spilled as u64);
+        }
+        obs::histogram!("outset.steady_footprint_bytes").record(pool.cached_bytes() as u64);
+        obs::trace::record(obs::EventKind::BlockRecycle, pool.cached_slabs() as u64);
+    }
+
+    /// Re-initialize a block just taken from the recycler: verify the
+    /// poison (nobody scribbled on it while it was free), clear the
+    /// slots, restart the cursor.
+    ///
+    /// # Safety
+    /// The caller must own `block` exclusively (freshly acquired from
+    /// the recycler, not yet published).
+    unsafe fn reset(block: *mut Block, next: *mut Block) {
+        // SAFETY: exclusive access per the contract above.
+        unsafe {
+            let stamp = (*block).generation.fetch_add(1, Ordering::Relaxed);
+            debug_assert_eq!(stamp % 2, 1, "reused a slot block that was never retired");
+            for slot in &(*block).slots {
+                let prev = slot.swap(EMPTY, Ordering::SeqCst);
+                debug_assert_eq!(prev, POISON, "a cached slot block was written to while free");
+            }
+            (*block).claimed.store(0, Ordering::SeqCst);
+            (*block).next = next;
+        }
+    }
+}
+
+/// The process-wide free list of slot blocks. All out-sets share one
+/// recycler: blocks are uniform and carry no owner state while free, so
+/// a block retired by one future's sweep can seed any other out-set.
+pub(crate) fn block_pool() -> &'static sched::SlabPool {
+    // Per-worker cache bound: past this many free blocks a worker spills
+    // half to the global list (a churning worker idles ≲ 10 KiB).
+    const CACHE_CAP: usize = 32;
+    static POOL: sched::SlabPool =
+        sched::SlabPool::new("outset.block", std::mem::size_of::<Block>(), CACHE_CAP);
+    &POOL
+}
+
+/// Free every block on the recycler's global list back to the allocator;
+/// see [`crate::recycle::trim`].
+pub(crate) fn trim_block_pool() -> usize {
+    let n = block_pool().trim(|raw| {
+        // SAFETY: everything on the free list was leaked from
+        // `Block::boxed` and handed over whole by `Block::retire`.
+        drop(unsafe { Box::from_raw(raw as *mut Block) });
+    });
+    if n > 0 {
+        obs::counter!("outset.blocks_trimmed").add(n as u64);
+    }
+    n
 }
 
 #[repr(align(128))] // one lane per cache-line pair: adders on distinct lanes never false-share
@@ -198,6 +316,15 @@ pub struct TreeOutsetObj {
     /// Lost block-install CASes (diagnostic — the contention signal that
     /// feeds the growth coin; see [`install_races`](Self::install_races)).
     race_count: AtomicUsize,
+    /// Whether swept blocks go to the recycler (requires `growable` — the
+    /// retirement rides the private domain — and the process switch at
+    /// construction time; see [`crate::recycle`]). Fixed for the
+    /// object's life so the sweep and the allocator never disagree.
+    recycle: bool,
+    /// Blocks this object has handed to the recycler (scheduled
+    /// retirements; deterministic once `finish` returns — the actual
+    /// cache push runs at the domain's next quiescent instant).
+    retired_count: AtomicUsize,
     /// Private epoch domain protecting the table indirection, present
     /// exactly when `growable`: retired lane tables are deferred here, so
     /// this out-set's reclamation is independent of every other out-set
@@ -251,6 +378,8 @@ impl TreeOutsetObj {
             lanes_approx: AtomicUsize::new(initial),
             split_count: AtomicUsize::new(0),
             race_count: AtomicUsize::new(0),
+            recycle: growable && crate::recycle::enabled(),
+            retired_count: AtomicUsize::new(0),
             domain: growable.then(|| Box::new(epoch::Domain::with_stripes(OUTSET_PIN_STRIPES))),
         }
     }
@@ -271,13 +400,22 @@ impl TreeOutsetObj {
     /// or — once the out-set is sealed — `outset.swept` (delivered by
     /// the sweep), so `adds == adds_bounced + swept` after seal.
     pub fn add(&self, token: u64, key: u64) -> AddEdge {
-        assert!(token <= u64::MAX - TOKEN_BIAS, "tokens u64::MAX and u64::MAX-1 are reserved");
+        assert!(token <= MAX_TOKEN, "tokens u64::MAX-2..=u64::MAX are reserved");
         obs::counter!("outset.adds").inc();
         if self.sealed.load(Ordering::SeqCst) {
             obs::counter!("outset.adds_bounced").inc();
             return AddEdge::Finished(token);
         }
-        let slot = self.claim_slot(key);
+        // One pin for the whole claim **and** publish: with block
+        // recycling the claimed slot's memory is epoch-protected (the
+        // sweep retires blocks through the domain), so the guard must
+        // outlive every access to the slot — including the publish CAS
+        // and the seal-race CAS below — not just the table lookup.
+        // A non-growable table is immutable and never recycles, so only
+        // growable out-sets pay the pin — in their own domain, whose
+        // stripes no other structure shares.
+        let guard = self.domain.as_deref().map(epoch::Domain::pin);
+        let slot = self.claim_slot(key, guard.as_ref());
         let biased = token + TOKEN_BIAS;
         if slot.compare_exchange(EMPTY, biased, Ordering::SeqCst, Ordering::SeqCst).is_err() {
             // The sweep resolved this slot before we published.
@@ -297,12 +435,11 @@ impl TreeOutsetObj {
 
     /// Claim one slot in `key`'s lane, growing the block list — and,
     /// under a lost install CAS plus a heads coin flip, the lane table —
-    /// as needed.
-    fn claim_slot(&self, key: u64) -> &AtomicU64 {
-        // A non-growable table is immutable and kept alive by `&self`, so
-        // only growable out-sets pay the epoch pin — in their own domain,
-        // whose stripes no other structure shares.
-        let guard = self.domain.as_deref().map(epoch::Domain::pin);
+    /// as needed. `guard` is the caller's pin on this out-set's domain
+    /// (`None` exactly when the out-set is frozen); the returned slot
+    /// reference is only safe to use while that guard lives, because a
+    /// recycling sweep retires blocks through the same domain.
+    fn claim_slot(&self, key: u64, guard: Option<&epoch::Guard<'_>>) -> &AtomicU64 {
         loop {
             // Re-read the table every round: a split (ours or a
             // competitor's) re-hashes the key over more lanes.
@@ -313,8 +450,10 @@ impl TreeOutsetObj {
             let lane = unsafe { (*table_ptr).lane_for(key) };
             let head = lane.head.load(Ordering::SeqCst);
             if !head.is_null() {
-                // SAFETY: blocks are freed only in Drop, and `&self` keeps
-                // the outset alive for the duration of the call.
+                // SAFETY: a linked block observed under our pin cannot be
+                // retired (the sweep's deferral outwaits the pin) nor
+                // freed (`Drop` needs exclusive access) while the guard
+                // lives; frozen out-sets never unlink blocks at all.
                 let block = unsafe { &*head };
                 let idx = block.claimed.fetch_add(1, Ordering::SeqCst);
                 if idx < BLOCK_SLOTS {
@@ -323,24 +462,50 @@ impl TreeOutsetObj {
                 // Block full (the cursor overshoot is benign): fall
                 // through and try to install a fresh head.
             }
-            let fresh = Box::into_raw(Block::boxed(head));
+            let fresh = self.alloc_block(head);
             if lane.head.compare_exchange(head, fresh, Ordering::SeqCst, Ordering::SeqCst).is_err()
             {
-                // Lost the install race; reclaim and retry on the winner.
-                // SAFETY: `fresh` was never published.
-                drop(unsafe { Box::from_raw(fresh) });
+                // Lost the install race; the never-published block goes
+                // straight back — to the recycler when recycling (keeping
+                // the birth/death accounting balanced), else the
+                // allocator — and we retry on the winner.
+                if self.recycle {
+                    // SAFETY: never published, exclusively ours.
+                    unsafe { Block::retire(fresh) };
+                    self.retired_count.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // SAFETY: never published.
+                    drop(unsafe { Box::from_raw(fresh) });
+                }
                 // A lost CAS is direct evidence of a concurrent adder on
                 // this lane: flip the split coin (the adaptive analogue
                 // of the in-counter's per-increment grow coin).
                 self.race_count.fetch_add(1, Ordering::Relaxed);
                 obs::counter!("outset.lost_cas").inc();
-                if let Some(guard) = &guard {
+                if let Some(guard) = guard {
                     if self.policy.flip() {
                         self.try_split(guard, table_ptr);
                     }
                 }
             }
         }
+    }
+
+    /// One block headed for `key`'s lane: from the recycler when this
+    /// out-set recycles and a cached block is available, else a fresh
+    /// allocation.
+    fn alloc_block(&self, next: *mut Block) -> *mut Block {
+        if self.recycle {
+            if let Some(raw) = block_pool().acquire() {
+                let block = raw as *mut Block;
+                // SAFETY: `acquire` hands over exclusive ownership.
+                unsafe { Block::reset(block, next) };
+                obs::counter!("outset.blocks_reused").inc();
+                return block;
+            }
+        }
+        obs::counter!("outset.blocks_allocated").inc();
+        Box::into_raw(Block::boxed(next))
     }
 
     /// Attempt to double the lane table from the generation `old` (loaded
@@ -425,16 +590,32 @@ impl TreeOutsetObj {
         let table_ptr = self.table.load(Ordering::SeqCst);
         // SAFETY: pinned (or the table is immutable); see `claim_slot`.
         let table = unsafe { &*table_ptr };
+        let mut retired = 0usize;
         for &lane_ptr in table.lanes.iter() {
             // SAFETY: lanes are freed only in Drop.
             let lane = unsafe { &*lane_ptr };
-            let mut head = lane.head.load(Ordering::SeqCst);
+            // A recycling sweep takes the whole chain in one swap: every
+            // pre-seal publish lives in a block linked before this point
+            // (installing a block requires claiming through it, and
+            // pre-seal claims reach only linked blocks), and an adder
+            // that installs a fresh head afterwards necessarily
+            // published after the seal, so it observes `sealed` on its
+            // re-check and delivers inline — its straggler block stays
+            // linked and is freed in `Drop`.
+            let taken = if self.recycle {
+                lane.head.swap(std::ptr::null_mut(), Ordering::SeqCst)
+            } else {
+                lane.head.load(Ordering::SeqCst)
+            };
+            let mut head = taken;
             while !head.is_null() {
-                // SAFETY: as in `claim_slot`.
+                // SAFETY: as in `claim_slot` (the chain is ours: either
+                // unlinked by the swap above, or never unlinked at all).
                 let block = unsafe { &*head };
                 let claimed = block.claimed.load(Ordering::SeqCst).min(BLOCK_SLOTS);
                 for slot in &block.slots[..claimed] {
                     let prev = slot.swap(SWEPT, Ordering::SeqCst);
+                    debug_assert_ne!(prev, POISON, "swept a recycled (poisoned) block");
                     if prev >= TOKEN_BIAS {
                         delivered += 1;
                         sink(prev - TOKEN_BIAS);
@@ -442,8 +623,24 @@ impl TreeOutsetObj {
                     // prev == EMPTY: the claiming adder has not published
                     // yet; its publish CAS will fail and deliver inline.
                 }
-                head = block.next;
+                let next = block.next;
+                if self.recycle {
+                    let ptr = head;
+                    let g = guard.as_ref().expect("recycling implies growable implies a domain");
+                    // SAFETY: `ptr` is unlinked (the swap above), so no
+                    // new reader can acquire it; adders that already
+                    // hold it are pinned across their whole claim +
+                    // publish, which is exactly what the deferral waits
+                    // out — and by then the slot protocol has emptied
+                    // every slot (retire re-checks that).
+                    unsafe { g.defer_unchecked(move || Block::retire(ptr)) };
+                    retired += 1;
+                }
+                head = next;
             }
+        }
+        if retired > 0 {
+            self.retired_count.fetch_add(retired, Ordering::Relaxed);
         }
         drop(guard);
         obs::counter!("outset.swept").add(delivered);
@@ -535,6 +732,30 @@ impl TreeOutsetObj {
     pub fn domain_footprint_bytes(&self) -> usize {
         self.domain.as_deref().map_or(0, epoch::Domain::footprint_bytes)
     }
+
+    /// Whether this out-set recycles its swept blocks — growable, and
+    /// [`crate::recycle::enabled`] was true at construction.
+    pub fn recycles_blocks(&self) -> bool {
+        self.recycle
+    }
+
+    /// Blocks this object has scheduled for the recycler so far (the
+    /// sweep's retirements plus never-published install-race losers).
+    /// Deterministic once [`finish`](Self::finish) has returned and all
+    /// adds have; the cache push itself lands at the domain's next
+    /// quiescent instant.
+    pub fn blocks_retired(&self) -> usize {
+        self.retired_count.load(Ordering::Relaxed)
+    }
+
+    /// Force this out-set's pending block retirements through (a
+    /// quiescence-gated attempt; no-op for frozen sets). Test/diagnostic
+    /// aid: after `finish` returns and every adder has unpinned, this
+    /// makes the swept blocks visible to [`crate::recycle::cached_blocks`]
+    /// without waiting for another unpin.
+    pub fn drain_retired(&self) -> bool {
+        self.domain.as_deref().is_none_or(epoch::Domain::try_collect)
+    }
 }
 
 impl Default for TreeOutsetObj {
@@ -554,13 +775,21 @@ impl Drop for TreeOutsetObj {
         // lane pointer in it was leaked from a Box in `with_policy` or
         // `try_split`, and every block from `claim_slot`.
         let table = unsafe { Box::from_raw(table_ptr) };
+        let mut dropped = 0u64;
         for &lane_ptr in table.lanes.iter() {
             let mut lane = unsafe { Box::from_raw(lane_ptr) };
             let mut head = *lane.head.get_mut();
             while !head.is_null() {
                 let block = unsafe { Box::from_raw(head) };
+                dropped += 1;
                 head = block.next;
             }
+        }
+        // For a recycling out-set that was finished, the chains were
+        // already retired by the sweep: only post-seal straggler blocks
+        // (and never-finished sets) reach the allocator here.
+        if dropped > 0 {
+            obs::counter!("outset.blocks_dropped").add(dropped);
         }
     }
 }
@@ -783,5 +1012,100 @@ mod tests {
     fn reserved_tokens_rejected() {
         let set = TreeOutsetObj::new();
         let _ = set.add(u64::MAX, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn poison_adjacent_token_rejected() {
+        // u64::MAX - 2 would bias to the poison stamp's neighbourhood.
+        let set = TreeOutsetObj::new();
+        let _ = set.add(u64::MAX - 2, 0);
+    }
+
+    #[test]
+    fn max_token_round_trips() {
+        // The largest legal token must survive biasing and sweeping
+        // without colliding with SWEPT or POISON.
+        let set = TreeOutsetObj::new();
+        assert_eq!(set.add(MAX_TOKEN, 0), AddEdge::Registered);
+        let mut got = Vec::new();
+        assert!(set.finish(&mut |t| got.push(t)));
+        assert_eq!(got, vec![MAX_TOKEN]);
+        assert_eq!(set.add(MAX_TOKEN, 0), AddEdge::Finished(MAX_TOKEN));
+    }
+
+    #[test]
+    fn recycling_mode_tracks_growability_and_switch() {
+        // Frozen out-sets must never recycle (retirement needs the
+        // domain); growable ones follow the process switch at
+        // construction time.
+        assert!(!TreeOutsetObj::with_lanes(4).recycles_blocks());
+        assert!(!TreeOutsetObj::with_policy(8, GrowthPolicy::eager(8)).recycles_blocks());
+        let growable = TreeOutsetObj::with_policy(1, GrowthPolicy::eager(8));
+        assert_eq!(growable.recycles_blocks(), crate::recycle::enabled());
+    }
+
+    #[test]
+    fn finish_retires_the_swept_chain() {
+        let set = TreeOutsetObj::with_policy(1, GrowthPolicy::eager(8));
+        if !set.recycles_blocks() {
+            return; // another test (or harness mode) disabled recycling
+        }
+        let n = 2 * BLOCK_SLOTS as u64 + 1;
+        for t in 0..n {
+            assert_eq!(set.add(t, 0), AddEdge::Registered);
+        }
+        assert_eq!(set.block_count(), 3);
+        let mut got = Vec::new();
+        assert!(set.finish(&mut |t| got.push(t)));
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "retirement must not lose tokens");
+        assert_eq!(set.blocks_retired(), 3, "the whole chain is scheduled for the recycler");
+        assert_eq!(set.block_count(), 0, "swept chains leave the live footprint immediately");
+        assert!(set.drain_retired(), "no pins remain: the retirements must go through");
+        // Post-seal adds still bounce and leave no new blocks linked.
+        assert_eq!(set.add(7, 0), AddEdge::Finished(7));
+        assert_eq!(set.block_count(), 0);
+    }
+
+    #[test]
+    fn recycled_blocks_are_reusable_same_lane() {
+        // ABA-shaped reuse smoke (the full regression battery lives in
+        // tests/recycle_races.rs): a block retired by one out-set's
+        // sweep serves a later out-set at the same lane index, with the
+        // generation stamp and poison checks (debug builds) vouching
+        // that no stale state leaks across lives.
+        for round in 0..8u64 {
+            let set = TreeOutsetObj::with_policy(1, GrowthPolicy::eager(8));
+            let base = round * 1000;
+            let mut expect = Vec::new();
+            for t in 0..(BLOCK_SLOTS as u64 + 3) {
+                assert_eq!(set.add(base + t, 0), AddEdge::Registered);
+                expect.push(base + t);
+            }
+            let mut got = Vec::new();
+            assert!(set.finish(&mut |t| got.push(t)));
+            got.sort_unstable();
+            assert_eq!(got, expect, "round {round}");
+            set.drain_retired();
+        }
+    }
+
+    #[test]
+    fn footprint_excludes_retired_blocks() {
+        let set = TreeOutsetObj::with_policy(1, GrowthPolicy::eager(8));
+        let before_adds = set.footprint_bytes();
+        for t in 0..(BLOCK_SLOTS as u64 * 2) {
+            let _ = set.add(t, 0);
+        }
+        assert!(set.footprint_bytes() > before_adds);
+        set.finish(&mut |_| {});
+        if set.recycles_blocks() {
+            assert_eq!(
+                set.footprint_bytes(),
+                before_adds,
+                "a finished recycling out-set holds no blocks"
+            );
+        }
     }
 }

@@ -15,6 +15,10 @@
 //!   (an explicit done-flag set by the computation's final task — the
 //!   contention-free mode used for dag execution — or global quiescence
 //!   for task-soup workloads).
+//! * [`slab`] — bounded per-worker free lists of uniform raw blocks with
+//!   a global overflow pool, so block-recycling layers above (the
+//!   out-set) reach zero allocator traffic in steady state. Workers
+//!   flush their caches to the shared lists at teardown.
 //!
 //! The scheduler is deliberately *generic*: it knows nothing about sp-dags
 //! or counters. The `spdag` crate supplies vertices as word-sized tasks.
@@ -25,9 +29,11 @@
 pub mod deque;
 pub mod pool;
 pub mod rng;
+pub mod slab;
 
 pub use deque::{StealResult, Stealer, Word, WorkerDeque};
 pub use pool::{run, PoolStats, Termination, WorkerCtx};
+pub use slab::SlabPool;
 
 /// Number of hardware threads available, with a fallback of 1.
 pub fn num_cpus() -> usize {

@@ -327,6 +327,10 @@ where
                         rng: RefCell::new(VictimRng::new(0x853C_49E6_748F_EA9B ^ (id as u64 + 1))),
                     };
                     worker_loop(&ctx, f);
+                    // Leave nothing stranded in this worker's slab
+                    // caches: flushing here (not just at thread exit)
+                    // makes post-run recycler gauges deterministic.
+                    crate::slab::flush_this_thread();
                     (ctx.tasks.get(), ctx.steals.get(), ctx.parks.get())
                 })
             })

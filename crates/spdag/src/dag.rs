@@ -50,6 +50,15 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         self.worker.num_workers()
     }
 
+    /// One uniform 64-bit value from the executing worker's private
+    /// stream (distinct workers are seeded apart, so concurrent bodies
+    /// never share generator state). Deterministic per worker given the
+    /// pool's seed — stress tests use this instead of ambient entropy so
+    /// a failing interleaving can be re-run.
+    pub fn rng_u64(&self) -> u64 {
+        self.worker.rng_u64()
+    }
+
     pub(crate) fn vertex_ref(&self) -> &Vertex<C> {
         self.vertex
     }

@@ -51,6 +51,15 @@
 //! two dependents. A future that is *known* to be a broadcast hub can
 //! declare it with [`Ctx::future_fanout`] and skip the growth transient.
 //!
+//! Slot-block lifetime is **not** tied to the handle: when the
+//! completion vertex sweeps the out-set, the swept blocks are retired
+//! through the out-set's epoch domain into the block recycler
+//! (`outset::recycle`) immediately — dropping the last [`FutureHandle`]
+//! clone afterwards frees only the out-set shell (lane table, lanes,
+//! any post-seal straggler blocks). Steady-state future churn therefore
+//! reaches zero allocator traffic for slot blocks: each new future's
+//! out-set is fed from blocks previous futures already retired.
+//!
 //! ## Caveat: deadlock is expressible
 //!
 //! Unlike pure series-parallel composition, runtime edges can express

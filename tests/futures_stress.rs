@@ -127,6 +127,96 @@ fn crossing_edges_in_recursive_tree() {
     }
 }
 
+/// Randomized churn phases, reproducibly: every random choice is drawn
+/// from the executing worker's deterministic stream ([`Ctx::rng_u64`])
+/// xor a test-level seed, so there is no ambient entropy anywhere — a
+/// failure names its seed and replays with it. Each phase picks one of
+/// three shapes (chain step, broadcast through a shared future, pure
+/// fork) and the test closes the books: touches planned == touches run.
+#[test]
+fn seeded_churn_phases_run_every_touch_exactly_once() {
+    fn churn(
+        c: Ctx<'_, DynSnzi>,
+        mix: u64,
+        budget: u64,
+        planned: Arc<AtomicU64>,
+        touched: Arc<AtomicU64>,
+    ) {
+        if budget == 0 {
+            return;
+        }
+        let mut c = c;
+        let draw = c.rng_u64() ^ mix;
+        let (lo, hi) = ((budget - 1) / 2, budget - 1 - (budget - 1) / 2);
+        match draw % 3 {
+            0 => {
+                // Chain step: one future, one touch, continue inside it.
+                let f = c.future(move |_| draw);
+                planned.fetch_add(1, Ordering::Relaxed);
+                c.touch(&f, move |c2, v| {
+                    assert_eq!(*v, draw, "stale future value (mix={mix:#x})");
+                    touched.fetch_add(1, Ordering::Relaxed);
+                    churn(c2, mix.rotate_left(7), budget - 1, planned, touched);
+                });
+            }
+            1 => {
+                // Broadcast: two racing branches touch the same future
+                // and continue independently from their continuations.
+                let f = c.future(move |_| draw);
+                planned.fetch_add(2, Ordering::Relaxed);
+                let f2 = f.clone();
+                let (p1, t1) = (Arc::clone(&planned), Arc::clone(&touched));
+                c.spawn(
+                    move |cl| {
+                        cl.touch(&f, move |c2, v| {
+                            assert_eq!(*v, draw, "stale future value (mix={mix:#x})");
+                            t1.fetch_add(1, Ordering::Relaxed);
+                            churn(c2, mix ^ 0x5bd1_e995, lo, p1, t1);
+                        });
+                    },
+                    move |cr| {
+                        cr.touch(&f2, move |c2, v| {
+                            assert_eq!(*v, draw, "stale future value (mix={mix:#x})");
+                            touched.fetch_add(1, Ordering::Relaxed);
+                            churn(c2, mix ^ 0x27d4_eb2f, hi, planned, touched);
+                        });
+                    },
+                );
+            }
+            _ => {
+                // Pure fork: split the budget without a future, so the
+                // next draws happen on (potentially) different workers.
+                let (p, t) = (Arc::clone(&planned), Arc::clone(&touched));
+                c.spawn(
+                    move |cl| churn(cl, mix ^ 0x165_667b1, lo, p, t),
+                    move |cr| churn(cr, mix ^ 0x85eb_ca77, hi, planned, touched),
+                );
+            }
+        }
+    }
+
+    for seed in [1u64, 0xDEAD_BEEF, 0x9E37_79B9_7F4A_7C15] {
+        for workers in [1, 4] {
+            let planned = Arc::new(AtomicU64::new(0));
+            let touched = Arc::new(AtomicU64::new(0));
+            let (p, t) = (Arc::clone(&planned), Arc::clone(&touched));
+            Runtime::new().workers(workers).run(move |ctx| {
+                let mut scope = ctx.into_scope();
+                for lane in 0..6u64 {
+                    let (p, t) = (Arc::clone(&p), Arc::clone(&t));
+                    scope.fork(move |c| churn(c, seed.wrapping_mul(lane + 1), 40, p, t));
+                }
+            });
+            assert_eq!(
+                planned.load(Ordering::Relaxed),
+                touched.load(Ordering::Relaxed),
+                "lost or duplicated touch — replay with seed={seed:#x} workers={workers}"
+            );
+            assert!(planned.load(Ordering::Relaxed) > 0, "seed={seed:#x} churned nothing");
+        }
+    }
+}
+
 /// try_get never lies: false negatives allowed, never false positives.
 #[test]
 fn try_get_is_safe_snapshot() {

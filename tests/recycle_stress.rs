@@ -1,0 +1,170 @@
+//! Steady-state slab-recycling stress: a million futures of churn (in
+//! release builds) through the real runtime, with three end-to-end
+//! claims checked at round boundaries:
+//!
+//! 1. **Conservation** — every slot block born (fresh allocation or
+//!    recycler reuse) is accounted dead (retired to the recycler or
+//!    freed by an out-set's `Drop`) once the run quiesces. A violation
+//!    is a leak or a double-free, caught by arithmetic instead of
+//!    valgrind.
+//! 2. **Footprint ceiling** — the recycler's free list is bounded by
+//!    peak *live* blocks, not total churn: a million retired blocks must
+//!    never pile up. The workload makes the bound hard by construction
+//!    (each chain holds ~one future alive at a time, so peak-live ≈ the
+//!    chain count).
+//! 3. **Zero allocator traffic at steady state** — once the cache is
+//!    warm, rounds stop minting fresh blocks and run on reuse alone.
+//!
+//! Counter-based asserts are skipped under `--no-default-features`
+//! (telemetry compiled out); the gauge-based footprint ceiling and the
+//! exactly-once delivery count hold in both modes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dynsnzi::prelude::*;
+use outset::recycle;
+
+/// Both tests read process-global recycler gauges: serialize them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One future-churn chain: create a future, touch it, and continue from
+/// the touch continuation — so at any instant the chain keeps at most a
+/// couple of futures (hence blocks) alive, while total churn is `len`.
+fn chain(c: Ctx<'_, DynSnzi>, remaining: u64, touched: Arc<AtomicU64>) {
+    if remaining == 0 {
+        return;
+    }
+    let mut c = c;
+    let f = c.future(move |_| remaining);
+    c.touch(&f, move |c2, v| {
+        assert_eq!(*v, remaining, "touch observed the wrong stage value");
+        touched.fetch_add(1, Ordering::Relaxed);
+        chain(c2, remaining - 1, touched);
+    });
+}
+
+/// One round: `chains` parallel churn chains of depth `len` on a real
+/// worker pool. Returns the number of touches that ran.
+fn churn_round(workers: usize, chains: u64, len: u64) -> u64 {
+    let touched = Arc::new(AtomicU64::new(0));
+    let t = Arc::clone(&touched);
+    Runtime::new().workers(workers).run(move |ctx| {
+        let mut scope = ctx.into_scope();
+        for _ in 0..chains {
+            let t = Arc::clone(&t);
+            scope.fork(move |c| chain(c, len, t));
+        }
+    });
+    touched.load(Ordering::Relaxed)
+}
+
+#[test]
+fn million_future_churn_is_conserved_and_bounded() {
+    let _guard = lock();
+    // ~1M futures in release (32 rounds × 64 chains × 512), scaled down
+    // in debug builds where the point is coverage, not volume. Chain
+    // depth stays modest: a touch on an already-completed future runs
+    // its continuation inline, so `len` bounds real stack depth.
+    let (rounds, chains, len, workers) =
+        if cfg!(debug_assertions) { (6, 16u64, 128u64, 4) } else { (32, 64u64, 512u64, 4) };
+
+    let before = obs::Snapshot::take();
+    let mut allocated_per_round = Vec::new();
+    let mut cached_peak = 0usize;
+    let mut prev_allocated = 0u64;
+    for _ in 0..rounds {
+        assert_eq!(churn_round(workers, chains, len), chains * len, "every touch exactly once");
+        // Workers flushed their slab caches at pool teardown, and every
+        // out-set (and so its epoch domain) died inside the run: the
+        // round boundary is quiescent.
+        let so_far = obs::Snapshot::take().diff(&before);
+        let allocated = so_far.counter("outset.blocks_allocated");
+        allocated_per_round.push(allocated - prev_allocated);
+        prev_allocated = allocated;
+        cached_peak = cached_peak.max(recycle::cached_blocks());
+        // Footprint ceiling, per round: the free list holds at most
+        // ~peak-live blocks. Peak-live ≈ chains (one future each) plus
+        // scheduler slack; total churn this round is chains × len blocks,
+        // so the ceiling is the claim that churn does NOT accumulate.
+        assert!(
+            recycle::cached_blocks() as u64 <= 8 * chains + 64,
+            "free list grew with churn, not with peak-live: {} blocks cached, {} chains",
+            recycle::cached_blocks(),
+            chains
+        );
+    }
+
+    // Hard steady-state byte ceiling, independent of telemetry.
+    let ceiling = (8 * chains as usize + 64) * recycle::block_bytes();
+    assert!(
+        recycle::cached_bytes() <= ceiling,
+        "steady-state footprint {}B exceeds ceiling {}B",
+        recycle::cached_bytes(),
+        ceiling
+    );
+
+    if obs::enabled() {
+        let d = obs::Snapshot::take().diff(&before);
+        // Conservation at quiescence: births == deaths, zero live.
+        let born = d.counter("outset.blocks_allocated") + d.counter("outset.blocks_reused");
+        let dead = d.counter("outset.blocks_recycled") + d.counter("outset.blocks_dropped");
+        assert_eq!(born, dead, "block leak or double-account: born {born} != dead {dead}");
+        // The recycler gauge agrees with the counter flows.
+        assert_eq!(
+            recycle::cached_blocks() as u64,
+            d.counter("outset.blocks_recycled")
+                - d.counter("outset.blocks_reused")
+                - d.counter("outset.blocks_trimmed"),
+            "gauge out of step with recycled/reused/trimmed flows"
+        );
+        // Steady state mints (almost) nothing: once the first quarter of
+        // the rounds has warmed the cache, the rest must run on reuse.
+        let warmup = rounds / 4;
+        let early: u64 = allocated_per_round[..warmup].iter().sum();
+        let late: u64 = allocated_per_round[warmup..].iter().sum();
+        assert!(
+            late <= early.max(chains),
+            "allocator traffic did not reach steady state: per-round fresh \
+             allocations {allocated_per_round:?} (warmup = first {warmup})"
+        );
+        assert!(
+            d.counter("outset.blocks_reused") > d.counter("outset.blocks_allocated"),
+            "churn of {} futures should be dominated by reuse (reused {}, allocated {})",
+            rounds as u64 * chains * len,
+            d.counter("outset.blocks_reused"),
+            d.counter("outset.blocks_allocated")
+        );
+    }
+
+    // Leave the pool empty for whatever runs next in this process.
+    recycle::flush_thread_cache();
+    recycle::trim();
+}
+
+#[test]
+fn trim_releases_the_steady_state_footprint() {
+    let _guard = lock();
+    recycle::flush_thread_cache();
+    recycle::trim();
+    let (chains, len) = if cfg!(debug_assertions) { (16u64, 64u64) } else { (32u64, 256u64) };
+    assert_eq!(churn_round(2, chains, len), chains * len);
+    // A phase change gives the warm cache back to the allocator: flush
+    // this thread's share (workers flushed theirs at teardown), then
+    // trim must leave the recycler empty.
+    recycle::flush_thread_cache();
+    let freed = recycle::trim();
+    assert_eq!(
+        recycle::cached_blocks(),
+        0,
+        "trim left {} blocks cached after freeing {freed}",
+        recycle::cached_blocks()
+    );
+}
