@@ -1,17 +1,23 @@
 //! The evaluation harness: regenerates every figure of the paper.
 //!
 //! ```text
-//! harness <fig8|...|fig15|outset|growth|recycle|all|obs|trace> [flags]
+//! harness <fig8|...|fig15|outset|growth|recycle|spawncost|all|obs|trace> [flags]
 //!
-//! `obs`, `trace` and `recycle` are study subcommands (never part of
-//! `all`): `obs` prints one unified registry snapshot of a
-//! fanout-broadcast run (with `--assert-bound` it also recomputes the
-//! paper's per-add contention bound, the block-recycling conservation
-//! identity, and the pipeline steady-state footprint, failing if any is
-//! violated); `trace` records the run and writes Chrome Trace Event
-//! Format JSON to `--out` (see `docs/observability.md`); `recycle` A/B's
+//! `obs`, `trace`, `recycle` and `spawncost` are study subcommands
+//! (never part of `all`): `obs` prints one unified registry snapshot of
+//! a fanout-broadcast run (with `--assert-bound` it also recomputes the
+//! paper's per-add contention bound, the block- and vertex-recycling
+//! conservation identities, the warm-run zero-fresh-vertex claim, and
+//! the pipeline steady-state footprint, failing if any is violated);
+//! `trace` records the run and writes Chrome Trace Event Format JSON to
+//! `--out` (see `docs/observability.md`); `recycle` A/B's
 //! `pipeline_stages` and `fanout_broadcast` with slab recycling on vs
-//! off and writes a machine-checkable JSON summary next to the results.
+//! off and writes a machine-checkable JSON summary next to the results;
+//! `spawncost` A/B's the vertex/continuation fast path (`fib`,
+//! `pipeline_stages`, `fanout_broadcast` with both the vertex class
+//! pools and the out-set block pool flipped together), reporting vertex
+//! alloc/reuse, inline vs boxed bodies and the wake-path counters, to
+//! `results/spawncost.json`.
 //!
 //! flags:
 //!   --n <N>            benchmark size (default: 131072; paper: 8388608)
@@ -37,7 +43,7 @@ use dynsnzi_bench::report::{fmt_throughput, print_row, Record, Reporter};
 use dynsnzi_bench::sweep::{median_duration, run_repeated, throughput_per_core, MeasureOpts};
 use dynsnzi_bench::workloads::{
     calibrate_dummy_unit_ns, fanin_ops, fanout_broadcast, fanout_broadcast_ops,
-    fanout_broadcast_probed, indegree2_ops, outset_footprint_report, pipeline_stages,
+    fanout_broadcast_probed, fib, indegree2_ops, outset_footprint_report, pipeline_stages,
     pipeline_stages_ops, raw_counter_bench, raw_growth_bench, raw_outset_bench, GrowthStats,
     RawCounter, RawOutset,
 };
@@ -93,7 +99,10 @@ fn parse_args() -> Opts {
                 std::process::exit(0);
             }
             fig if fig.starts_with("fig")
-                || matches!(fig, "all" | "outset" | "growth" | "recycle" | "obs" | "trace") =>
+                || matches!(
+                    fig,
+                    "all" | "outset" | "growth" | "recycle" | "spawncost" | "obs" | "trace"
+                ) =>
             {
                 figures.push(fig.to_string())
             }
@@ -164,6 +173,9 @@ fn main() {
     if explicit("recycle") {
         recycle_study(&opts);
     }
+    if explicit("spawncost") {
+        spawncost_study(&opts);
+    }
 }
 
 /// `harness obs`: run the fanout broadcast with the whole runtime's
@@ -196,12 +208,14 @@ fn obs_cmd(opts: &Opts) {
     }
 }
 
-/// Recompute the block-recycling accounting of `outset::recycle` on a
-/// fresh quiesced workload, plus the steady-state footprint claim on the
-/// pipeline: a second identically-shaped `pipeline_stages` run must be
-/// fed from the blocks the first retired (reuse-dominated) and must not
-/// keep growing the free list (its size tracks peak-live blocks, not
-/// cumulative churn). Returns whether everything passed.
+/// Recompute the slab-recycling accounting — both the out-set block pool
+/// (`outset::recycle`) and the vertex/continuation class pools
+/// (`sched::recycle`) — on a fresh quiesced workload, plus the
+/// steady-state claims on the pipeline: a second identically-shaped
+/// `pipeline_stages` run must be fed from the slabs the first retired
+/// (for vertices: **zero** fresh allocations), and neither free list may
+/// keep growing (size tracks peak-live, not cumulative churn). Returns
+/// whether everything passed.
 fn check_recycle_bounds(opts: &Opts) -> bool {
     let w = opts.measure.max_workers;
     let n = (opts.measure.n / 4).max(1 << 10);
@@ -216,8 +230,14 @@ fn check_recycle_bounds(opts: &Opts) -> bool {
     };
 
     let before = obs::Snapshot::take();
-    pipeline_stages::<DynSnzi, outset::TreeOutset>(cfg(), w, stages, width); // warm the pool
+    // Warm the pools: their content converges to the high-water mark of
+    // simultaneously-live slabs, and one run's peak is a noisy draw, so
+    // take a few before claiming the warm run mints nothing.
+    for _ in 0..3 {
+        pipeline_stages::<DynSnzi, outset::TreeOutset>(cfg(), w, stages, width);
+    }
     let warm_cached = outset::recycle::cached_blocks();
+    let warm_sched_cached = sched::recycle::cached_slabs();
     let mid = obs::Snapshot::take();
     pipeline_stages::<DynSnzi, outset::TreeOutset>(cfg(), w, stages, width);
     let steady = obs::Snapshot::take().diff(&mid);
@@ -227,10 +247,41 @@ fn check_recycle_bounds(opts: &Opts) -> bool {
         println!("  (telemetry compiled out; gauge-only checks)");
     } else {
         // Both snapshot boundaries are quiescent (runs joined, domains
-        // drained, worker caches flushed), so births equal deaths.
-        let born = total.counter("outset.blocks_allocated") + total.counter("outset.blocks_reused");
-        let dead = total.counter("outset.blocks_recycled") + total.counter("outset.blocks_dropped");
-        check("block-conservation", born == dead, format!("born {born} == dead {dead}"));
+        // drained, worker caches flushed), so births equal deaths — for
+        // out-set blocks, dag vertices, and pooled refcount headers
+        // alike.
+        let conservation = [
+            (
+                "block",
+                "outset.blocks_allocated",
+                "outset.blocks_reused",
+                "outset.blocks_recycled",
+                "outset.blocks_dropped",
+            ),
+            (
+                "vertex",
+                "sched.vertex_alloc",
+                "sched.vertex_reuse",
+                "sched.vertex_recycled",
+                "sched.vertex_dropped",
+            ),
+            (
+                "poolarc",
+                "sched.poolarc_alloc",
+                "sched.poolarc_reuse",
+                "sched.poolarc_recycled",
+                "sched.poolarc_dropped",
+            ),
+        ];
+        for (label, alloc, reuse, recycled, dropped) in conservation {
+            let born = total.counter(alloc) + total.counter(reuse);
+            let dead = total.counter(recycled) + total.counter(dropped);
+            check(
+                &format!("{label}-conservation"),
+                born == dead,
+                format!("born {born} == dead {dead}"),
+            );
+        }
         let (reused, allocated) =
             (steady.counter("outset.blocks_reused"), steady.counter("outset.blocks_allocated"));
         check(
@@ -238,12 +289,33 @@ fn check_recycle_bounds(opts: &Opts) -> bool {
             reused >= allocated,
             format!("warm run: reused {reused} >= freshly allocated {allocated}"),
         );
+        // The tentpole claim: with the class pools warm, an identical
+        // run mints no fresh vertices at all — the cold run retired far
+        // more slabs than the warm run ever holds live at once.
+        if sched::recycle::enabled() {
+            let (va, vr) =
+                (steady.counter("sched.vertex_alloc"), steady.counter("sched.vertex_reuse"));
+            check(
+                "warm-zero-vertex-alloc",
+                va == 0,
+                format!("warm run: {va} fresh vertices (reused {vr})"),
+            );
+        }
     }
     let cached = outset::recycle::cached_blocks();
     check(
         "footprint-ceiling",
         cached <= 2 * warm_cached + 64,
         format!("free list {cached} blocks <= 2 x warm {warm_cached} + 64 (peak-live, not churn)"),
+    );
+    let sched_cached = sched::recycle::cached_slabs();
+    check(
+        "sched-footprint-ceiling",
+        sched_cached <= 2 * warm_sched_cached + 64,
+        format!(
+            "class pools {sched_cached} slabs <= 2 x warm {warm_sched_cached} + 64 \
+             (peak-live, not churn)"
+        ),
     );
     println!("# recycling checks: {}", if all_ok { "PASS" } else { "FAIL" });
     all_ok
@@ -441,6 +513,144 @@ fn recycle_study(opts: &Opts) {
     println!("# wrote {} and {}", rep.path().display(), path.display());
     if !obs::enabled() {
         println!("(telemetry compiled out — block counters read zero; wall clock still valid)");
+    }
+}
+
+/// Smallest fib argument whose spawn count (`fib(n+1) - 1`) reaches
+/// `target` — sizes the fib workload from the harness's `--n` scale.
+fn fib_n_for(target: u64) -> u64 {
+    let (mut fibs, mut n) = ((0u64, 1u64), 0u64);
+    while fibs.1 - 1 < target {
+        fibs = (fibs.1, fibs.0 + fibs.1);
+        n += 1;
+    }
+    n
+}
+
+/// `harness spawncost`: the spawn-cost A/B study for the zero-allocation
+/// fast path. Each workload runs per recycling mode (the vertex class
+/// pools and the out-set block pool flipped together): one cold run
+/// warms the pools, then the timed warm runs are snapshot-diffed for the
+/// allocation, inline-body and wake-path counters. With recycling on, a
+/// warm run must mint **zero** fresh vertices and the spawn-dominated
+/// workloads must inline ≥90% of their bodies — CI checks exactly that
+/// from `results/spawncost.json`.
+fn spawncost_study(opts: &Opts) {
+    let w = opts.measure.max_workers;
+    let n = (opts.measure.n / 4).max(1 << 10);
+    let (stages, width) = (32u64, (n / 64).max(16));
+    let fib_n = fib_n_for(n / 2);
+    let mut rep = Reporter::create(&opts.outdir, "spawncost").expect("results dir");
+    println!("\n## Spawn-cost study — vertex/continuation recycling A/B, workers={w}");
+    print_row(&[
+        "workload / recycling".to_string(),
+        "wall (s)".to_string(),
+        "vertex alloc".to_string(),
+        "vertex reuse".to_string(),
+        "inline".to_string(),
+        "boxed".to_string(),
+        "wakes".to_string(),
+        "spurious".to_string(),
+    ]);
+    let cfg = || DynConfig::with_threshold(Algo::default_threshold(w));
+    type Runner<'a> = (&'a str, Box<dyn Fn() -> Duration + 'a>);
+    let workloads: [Runner<'_>; 3] = [
+        ("fib", Box::new(move || fib::<DynSnzi>(cfg(), w, fib_n))),
+        (
+            "pipeline_stages",
+            Box::new(move || {
+                pipeline_stages::<DynSnzi, outset::TreeOutset>(cfg(), w, stages, width)
+            }),
+        ),
+        (
+            "fanout_broadcast",
+            Box::new(move || fanout_broadcast::<DynSnzi, outset::TreeOutset>(cfg(), w, n)),
+        ),
+    ];
+    let mut configs = String::new();
+    for (name, runner) in &workloads {
+        for recycling in [true, false] {
+            let prev_sched = sched::recycle::set_enabled(recycling);
+            let prev_outset = outset::recycle::set_enabled(recycling);
+            // Cold phase: the pools' content converges to the *high-water
+            // mark* of simultaneously-live slabs, and a single run's peak
+            // is one noisy draw — take a few so the warm runs' peaks sit
+            // below the accumulated maximum and mint nothing fresh.
+            for _ in 0..3 {
+                let _cold = runner();
+            }
+            let before = obs::Snapshot::take();
+            let elapsed = median_duration(&run_repeated(opts.measure.runs, &runner));
+            let d = obs::Snapshot::take().diff(&before);
+            sched::recycle::set_enabled(prev_sched);
+            outset::recycle::set_enabled(prev_outset);
+            let cached_slabs = sched::recycle::cached_slabs();
+            let counters = [
+                ("vertex_alloc", d.counter("sched.vertex_alloc")),
+                ("vertex_reuse", d.counter("sched.vertex_reuse")),
+                ("poolarc_alloc", d.counter("sched.poolarc_alloc")),
+                ("poolarc_reuse", d.counter("sched.poolarc_reuse")),
+                ("body_inline", d.counter("spdag.body_inline")),
+                ("body_boxed", d.counter("spdag.body_boxed")),
+                ("blocks_allocated", d.counter("outset.blocks_allocated")),
+                ("blocks_reused", d.counter("outset.blocks_reused")),
+                ("wakeups", d.counter("sched.wakeups")),
+                ("spurious_wakes", d.counter("sched.spurious_wakes")),
+                ("parks", d.counter("sched.parks")),
+            ];
+            let get = |key: &str| counters.iter().find(|(k, _)| *k == key).unwrap().1;
+            print_row(&[
+                format!("{name} / {}", if recycling { "on" } else { "off" }),
+                format!("{:.6}", elapsed.as_secs_f64()),
+                get("vertex_alloc").to_string(),
+                get("vertex_reuse").to_string(),
+                get("body_inline").to_string(),
+                get("body_boxed").to_string(),
+                get("wakeups").to_string(),
+                get("spurious_wakes").to_string(),
+            ]);
+            let mut r = Record::new("spawncost-study", "dag-vertex-recycling");
+            r.input("workload", name)
+                .input("proc", w)
+                .input("recycling", recycling)
+                .input("n", n)
+                .input("fib_n", fib_n)
+                .input("stages", stages)
+                .input("width", width);
+            r.output("exectime", format!("{:.6}", elapsed.as_secs_f64()));
+            for (key, value) in counters {
+                r.output(key, value);
+            }
+            r.output("cached_slabs_after", cached_slabs);
+            rep.record(&r);
+            if !configs.is_empty() {
+                configs.push_str(",\n");
+            }
+            let kv: String = counters.iter().map(|(k, v)| format!(", \"{k}\": {v}")).collect();
+            configs.push_str(&format!(
+                "    {{\"workload\": \"{name}\", \"recycling\": {recycling}, \
+                 \"wall_s\": {:.6}{kv}, \"cached_slabs_after\": {cached_slabs}}}",
+                elapsed.as_secs_f64()
+            ));
+            // Drain both recyclers so the next configuration starts cold
+            // and the off-mode numbers see no warm cache.
+            sched::recycle::flush_thread_cache();
+            sched::recycle::trim();
+            outset::recycle::flush_thread_cache();
+            outset::recycle::trim();
+        }
+    }
+    let json = format!(
+        "{{\n  \"workers\": {w},\n  \"runs\": {},\n  \"telemetry\": {},\n  \"fib_n\": {fib_n},\n  \"configs\": [\n{configs}\n  ]\n}}\n",
+        opts.measure.runs,
+        obs::enabled()
+    );
+    let path = opts.outdir.join("spawncost.json");
+    std::fs::create_dir_all(&opts.outdir).expect("results dir");
+    std::fs::write(&path, json).expect("write spawncost.json");
+    println!("# wrote {} and {}", rep.path().display(), path.display());
+    if !obs::enabled() {
+        println!("(telemetry compiled out — all counters read zero; wall clock still valid)");
     }
 }
 

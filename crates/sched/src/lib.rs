@@ -19,6 +19,12 @@
 //!   a global overflow pool, so block-recycling layers above (the
 //!   out-set) reach zero allocator traffic in steady state. Workers
 //!   flush their caches to the shared lists at teardown.
+//! * [`recycle`] — a fixed ladder of *size-class* slab pools (each one a
+//!   [`SlabPool`]) plus the process-wide recycle switch, serving the
+//!   layers whose hot objects are generic and so can't own a typed pool:
+//!   dag vertices and pooled refcount headers.
+//! * [`poolarc`] — [`PoolArc`], an `Arc` twin whose header allocation is
+//!   recycled through the size classes.
 //!
 //! The scheduler is deliberately *generic*: it knows nothing about sp-dags
 //! or counters. The `spdag` crate supplies vertices as word-sized tasks.
@@ -28,11 +34,14 @@
 
 pub mod deque;
 pub mod pool;
+pub mod poolarc;
+pub mod recycle;
 pub mod rng;
 pub mod slab;
 
 pub use deque::{StealResult, Stealer, Word, WorkerDeque};
 pub use pool::{run, PoolStats, Termination, WorkerCtx};
+pub use poolarc::PoolArc;
 pub use slab::SlabPool;
 
 /// Number of hardware threads available, with a fallback of 1.

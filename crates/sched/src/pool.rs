@@ -24,9 +24,21 @@
 //! fences in the store-buffer pattern (waiter: announce, fence, re-check;
 //! notifier: publish, fence, check announcements), plus a bounded wait as
 //! belt and braces, so wakeups cannot be lost.
+//!
+//! A push wakes **one** sleeper (`EventCount::notify` → `notify_one`);
+//! the woken worker re-notifies after its first successful steal if it
+//! can see surplus work on any deque, so a burst of pushes fans wakeups
+//! out as a chain instead of stampeding every sleeper at once (the
+//! thundering herd that made `sched.parks` spike under trickle loads).
+//! Only termination broadcasts to everybody. Before parking at all, an
+//! idle worker climbs a bounded backoff ladder — a few spin-relax steal
+//! sweeps, then a few `yield_now` sweeps — and a worker that just woke
+//! from a park re-enters the ladder partway up (steal-to-park
+//! hysteresis), so a straggler task doesn't bounce the pool in and out
+//! of the kernel.
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -54,17 +66,35 @@ pub struct PoolStats {
     pub parks: u64,
     /// Per-worker task counts (index = worker id).
     pub tasks_per_worker: Vec<u64>,
+    /// Wakeup signals issued (one per `EventCount::notify` that found a
+    /// sleeper, plus one per announced waiter at each termination
+    /// broadcast).
+    pub wakeups: u64,
+    /// Times a parked worker came back without any visible work (timeout
+    /// expiry or a wake that raced with someone else taking the task).
+    pub spurious_wakes: u64,
 }
 
 struct EventCount {
     mutex: Mutex<()>,
     condvar: Condvar,
     waiters: AtomicUsize,
+    /// Wake signals issued (diagnostic; see [`PoolStats::wakeups`]).
+    wakes: AtomicU64,
+    /// Parks that returned with nothing to do (see
+    /// [`PoolStats::spurious_wakes`]).
+    spurious: AtomicU64,
 }
 
 impl EventCount {
     fn new() -> EventCount {
-        EventCount { mutex: Mutex::new(()), condvar: Condvar::new(), waiters: AtomicUsize::new(0) }
+        EventCount {
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+            wakes: AtomicU64::new(0),
+            spurious: AtomicU64::new(0),
+        }
     }
 
     /// Park unless `has_work()` becomes observable. `has_work` is re-checked
@@ -84,24 +114,36 @@ impl EventCount {
         }
         drop(guard);
         self.waiters.fetch_sub(1, Ordering::SeqCst);
+        if !has_work() {
+            // Timeout expiry, or the work that triggered our wake was
+            // claimed before we got to it.
+            self.spurious.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// Wake sleepers if any are announced.
+    /// Wake **one** sleeper if any is announced. The woken worker is
+    /// responsible for propagating the wake if it finds surplus work
+    /// (see the handoff in `worker_loop`), so a push never pays for more
+    /// than one `notify_one` and sleepers never stampede.
     #[inline]
     fn notify(&self) {
         fence(Ordering::SeqCst);
         if self.waiters.load(Ordering::SeqCst) > 0 {
             let guard = self.mutex.lock();
             drop(guard);
-            self.condvar.notify_all();
+            self.condvar.notify_one();
+            self.wakes.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Unconditional wake (used on termination).
+    /// Unconditional broadcast — termination only. (The vendored condvar
+    /// returns no wake count, so account one signal per announced
+    /// waiter.)
     fn notify_all_force(&self) {
         let guard = self.mutex.lock();
         drop(guard);
         self.condvar.notify_all();
+        self.wakes.fetch_add(self.waiters.load(Ordering::SeqCst) as u64, Ordering::Relaxed);
     }
 }
 
@@ -201,7 +243,11 @@ impl<'a, T: Word> WorkerCtx<'a, T> {
     }
 }
 
-const STEAL_ATTEMPTS_PER_ROUND: usize = 4;
+/// Failed whole-pool steal sweeps spent spin-relaxing (with the pause
+/// budget doubling each rung) before the ladder moves on to yielding.
+const SPIN_SWEEPS: usize = 3;
+/// Further failed sweeps spent `yield_now`-ing before the worker parks.
+const YIELD_SWEEPS: usize = 4;
 
 fn worker_loop<T, F>(ctx: &WorkerCtx<'_, T>, f: &F)
 where
@@ -218,10 +264,13 @@ where
         if shared.done.load(Ordering::Acquire) {
             return;
         }
-        // Steal phase.
+        // Idle phase: hunt until a steal lands or the pool terminates.
+        // `hunt_start` is taken once and survives parks, so the
+        // steal-to-run histogram prices the *whole* idle gap — park
+        // latency included — not just the final successful sweep.
         let hunt_start = obs::now();
-        let mut stolen = None;
-        'rounds: for _ in 0..STEAL_ATTEMPTS_PER_ROUND {
+        let mut failed_sweeps = 0usize;
+        let task = 'hunt: loop {
             for _ in 0..n {
                 let victim = if n == 1 { 0 } else { ctx.rng_below(n) };
                 if victim == ctx.id && n > 1 {
@@ -232,8 +281,7 @@ where
                         ctx.steals.set(ctx.steals.get() + 1);
                         obs::histogram!("sched.steal_to_run_ns").record_since(hunt_start);
                         obs::trace::record_span(obs::EventKind::Steal, victim as u64, hunt_start);
-                        stolen = Some(task);
-                        break 'rounds;
+                        break 'hunt task;
                     }
                     StealResult::Retry => {
                         std::hint::spin_loop();
@@ -241,22 +289,40 @@ where
                     StealResult::Empty => {}
                 }
             }
-            std::thread::yield_now();
-        }
-        match stolen {
-            Some(task) => execute(ctx, f, task),
-            None => {
-                if shared.done.load(Ordering::Acquire) {
-                    return;
+            if shared.done.load(Ordering::Acquire) {
+                return;
+            }
+            // Exponential backoff ladder: spin-relax sweeps (cheap,
+            // keeps the core ready for an imminent push), then yields
+            // (give a sibling hyperthread the cycles), then park.
+            failed_sweeps += 1;
+            if failed_sweeps <= SPIN_SWEEPS {
+                for _ in 0..(1usize << (failed_sweeps + 2)) {
+                    std::hint::spin_loop();
                 }
+            } else if failed_sweeps <= SPIN_SWEEPS + YIELD_SWEEPS {
+                std::thread::yield_now();
+            } else {
                 ctx.parks.set(ctx.parks.get() + 1);
                 obs::trace::record(obs::EventKind::Park, ctx.id as u64);
                 shared.sleep.park(|| {
                     shared.done.load(Ordering::Acquire)
                         || shared.stealers.iter().any(|s| !s.is_empty())
                 });
+                // Hysteresis: a woken worker re-enters the ladder at the
+                // yield rungs — it must fail a full yield stretch again
+                // before re-parking, so one trickling producer doesn't
+                // bounce it in and out of the kernel every task.
+                failed_sweeps = SPIN_SWEEPS;
             }
+        };
+        // Wake handoff: we consumed the notification that woke us (or
+        // arrived before parking at all); if there is surplus visible
+        // work, pass one wake along so the chain reaches other sleepers.
+        if shared.stealers.iter().any(|s| !s.is_empty()) {
+            shared.sleep.notify();
         }
+        execute(ctx, f, task);
     }
 }
 
@@ -344,11 +410,15 @@ where
         out.parks += p;
         out.tasks_per_worker.push(t);
     }
+    out.wakeups = shared.sleep.wakes.load(Ordering::Relaxed);
+    out.spurious_wakes = shared.sleep.spurious.load(Ordering::Relaxed);
     // Per-worker tallies are cheap `Cell`s on the hot path; fold them
     // into the registry in one bulk add per counter at pool teardown.
     obs::counter!("sched.tasks").add(out.tasks);
     obs::counter!("sched.steals").add(out.steals);
     obs::counter!("sched.parks").add(out.parks);
+    obs::counter!("sched.wakeups").add(out.wakeups);
+    obs::counter!("sched.spurious_wakes").add(out.spurious_wakes);
     out
 }
 

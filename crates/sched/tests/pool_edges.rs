@@ -95,6 +95,41 @@ fn stats_accounting_sums() {
 }
 
 #[test]
+fn trickle_workload_wakes_at_most_once_per_task() {
+    // A slow trickle: one task at a time with idle gaps, so workers park
+    // between tasks. The notify_one wake chain must wake at most one
+    // worker per unit of work (plus termination and handoff slack) — a
+    // notify_all here would wake every sleeper for every push and the
+    // wakeup count would scale with workers x tasks.
+    let tasks = 200usize;
+    let workers = 4usize;
+    let stats = run(workers, vec![0usize], Termination::Quiesce, |ctx, t| {
+        // Enough spinning for the other workers to run dry and park.
+        for _ in 0..20_000 {
+            std::hint::spin_loop();
+        }
+        if t + 1 < tasks {
+            ctx.push(t + 1);
+        }
+    });
+    assert_eq!(stats.tasks, tasks as u64);
+    let slack = 4 * workers as u64; // termination broadcast + surplus handoffs
+    assert!(
+        stats.wakeups <= stats.tasks + slack,
+        "wake chain regressed to a broadcast: {} wakeups for {} tasks ({} workers)",
+        stats.wakeups,
+        stats.tasks,
+        workers
+    );
+    assert!(
+        stats.spurious_wakes <= stats.parks,
+        "spurious wakes {} cannot exceed parks {}",
+        stats.spurious_wakes,
+        stats.parks
+    );
+}
+
+#[test]
 fn repeated_pools_do_not_leak_state() {
     for round in 0..100 {
         let executed = AtomicU64::new(0);

@@ -18,13 +18,12 @@
 //!   the finish vertex. This is the paper's implementation note that
 //!   readiness detection rides on `snzi_depart`'s return value.
 
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use incounter::{CounterFamily, DecPair};
-use sched::{PoolStats, Termination, WorkerCtx};
+use sched::{PoolArc, PoolStats, Termination, WorkerCtx};
 
-use crate::vertex::{Body, Vertex, VertexPtr};
+use crate::vertex::{Body, BodySlot, Vertex, VertexPtr};
 
 /// Per-body execution context: the running vertex plus scheduler access.
 ///
@@ -76,11 +75,17 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         left: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
         right: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
     ) {
-        self.spawn_boxed(Box::new(left), Box::new(right));
+        // Straight to BodySlot (not through Box) so small captures land
+        // inline in the child vertices.
+        self.spawn_slots(BodySlot::from_closure(left), BodySlot::from_closure(right));
     }
 
     /// Monomorphisation-friendly version of [`spawn`](Ctx::spawn).
     pub fn spawn_boxed(self, left: Body<C>, right: Body<C>) {
+        self.spawn_slots(BodySlot::from_boxed(left), BodySlot::from_boxed(right));
+    }
+
+    fn spawn_slots(self, left: BodySlot<C>, right: BodySlot<C>) {
         let u = self.vertex;
         // SAFETY: `fin` is alive — this vertex is an unfinished strand of
         // `fin`'s scope, so `fin`'s counter cannot have reached zero.
@@ -98,12 +103,12 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         // ... and only then claim the inherited handle (ordering invariant:
         // the first handle of the new pair is the higher one).
         let d1 = u.dec.claim();
-        let pair = Arc::new(C::make_pair(self.cfg, d1, d2));
-        let v = Vertex::boxed(self.cfg, 0, i1, Arc::clone(&pair), u.fin, true, Some(left));
-        let w = Vertex::boxed(self.cfg, 0, i2, pair, u.fin, false, Some(right));
+        let pair = PoolArc::new(C::make_pair(self.cfg, d1, d2));
+        let v = Vertex::alloc(self.cfg, 0, i1, pair.clone(), u.fin, true, left);
+        let w = Vertex::alloc(self.cfg, 0, i2, pair, u.fin, false, right);
         u.dead = true;
-        self.worker.push(VertexPtr(Box::into_raw(v)));
-        self.worker.push(VertexPtr(Box::into_raw(w)));
+        self.worker.push(VertexPtr(v));
+        self.worker.push(VertexPtr(w));
     }
 
     /// Serial composition (the paper's `chain`; equivalently `finish {
@@ -115,36 +120,69 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         first: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
         then: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
     ) {
-        self.chain_boxed(Box::new(first), Box::new(then));
+        self.chain_slots(BodySlot::from_closure(first), BodySlot::from_closure(then));
     }
 
     /// Monomorphisation-friendly version of [`chain`](Ctx::chain).
     pub fn chain_boxed(self, first: Body<C>, then: Body<C>) {
+        self.chain_slots(BodySlot::from_boxed(first), BodySlot::from_boxed(then));
+    }
+
+    fn chain_slots(self, first: BodySlot<C>, then: BodySlot<C>) {
         let u = self.vertex;
         obs::counter!("spdag.chains").inc();
         obs::trace::record(obs::EventKind::Chain, u as *const Vertex<C> as u64);
         // w: the new finish vertex; takes over u's position in u's scope
         // (inherits fin, inc, dec pair and left/right position) and waits
         // on one dependency — the completion of `first`'s subtree.
-        let w = Vertex::boxed(self.cfg, 1, u.inc, Arc::clone(&u.dec), u.fin, u.is_left, Some(then));
-        let w_ptr = Box::into_raw(w);
+        let w_ptr = Vertex::alloc(self.cfg, 1, u.inc, u.dec.clone(), u.fin, u.is_left, then);
         // SAFETY: just created, uniquely owned until scheduled; shared
-        // references derived here point at the boxed (stable) allocation.
+        // references derived here point at the stable slab allocation.
         let wc = unsafe { (*w_ptr).counter_ref() };
         let h_dec = C::root_dec(wc);
-        let v = Vertex::boxed(
+        let v = Vertex::alloc(
             self.cfg,
             0,
             C::root_inc(wc),
-            Arc::new(DecPair::new(h_dec, h_dec)),
+            PoolArc::new(DecPair::new(h_dec, h_dec)),
             w_ptr,
             true,
-            Some(first),
+            first,
         );
         u.dead = true;
         // v is ready (no dependencies); w waits for the signal that zeroes
         // its counter — nobody pushes it until then.
-        self.worker.push(VertexPtr(Box::into_raw(v)));
+        self.worker.push(VertexPtr(v));
+    }
+}
+
+/// Exclusive ownership of a scheduled vertex for the duration of its
+/// execution; retires the vertex (drop glue + slab recycling by birth
+/// provenance) on every exit path.
+struct OwnedVertex<C: CounterFamily>(*mut Vertex<C>);
+
+impl<C: CounterFamily> std::ops::Deref for OwnedVertex<C> {
+    type Target = Vertex<C>;
+    fn deref(&self) -> &Vertex<C> {
+        // SAFETY: the executor holds the vertex exclusively (dag
+        // discipline: each pointer is handed to exactly one executor).
+        unsafe { &*self.0 }
+    }
+}
+
+impl<C: CounterFamily> std::ops::DerefMut for OwnedVertex<C> {
+    fn deref_mut(&mut self) -> &mut Vertex<C> {
+        // SAFETY: as for Deref — exclusive ownership.
+        unsafe { &mut *self.0 }
+    }
+}
+
+impl<C: CounterFamily> Drop for OwnedVertex<C> {
+    fn drop(&mut self) {
+        // SAFETY: we are the single executor and nothing uses the vertex
+        // after this point (fin was pushed by pointer, not reference,
+        // and fin is a *different* vertex).
+        unsafe { Vertex::retire(self.0) };
     }
 }
 
@@ -155,11 +193,12 @@ fn execute_vertex<C: CounterFamily>(
     worker: &WorkerCtx<'_, VertexPtr<C>>,
     ptr: VertexPtr<C>,
 ) {
-    // SAFETY: the dag hands each vertex pointer to exactly one executor;
-    // we take back the Box ownership that `spawn`/`chain`/`run_dag` leaked.
-    let mut v: Box<Vertex<C>> = unsafe { Box::from_raw(ptr.0) };
+    // The dag hands each vertex pointer to exactly one executor; the
+    // guard takes back the ownership that `spawn`/`chain`/`run_dag`
+    // leaked and retires the vertex when it drops.
+    let mut v = OwnedVertex(ptr.0);
     if let Some(body) = v.body.take() {
-        body(Ctx { vertex: &mut v, worker, cfg });
+        body.run(Ctx { vertex: &mut v, worker, cfg });
     }
     if v.dead {
         return; // continuation took over this vertex's obligations
@@ -200,7 +239,7 @@ where
     C: CounterFamily,
     F: for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
 {
-    run_dag_boxed::<C>(cfg, workers, Box::new(root))
+    run_dag_slot::<C>(cfg, workers, BodySlot::from_closure(root))
 }
 
 /// As [`run_dag`], with a pre-boxed body.
@@ -209,48 +248,51 @@ pub fn run_dag_boxed<C: CounterFamily>(
     workers: usize,
     root: Body<C>,
 ) -> DagRunStats {
+    run_dag_slot::<C>(cfg, workers, BodySlot::from_boxed(root))
+}
+
+fn run_dag_slot<C: CounterFamily>(
+    cfg: C::Config,
+    workers: usize,
+    root: BodySlot<C>,
+) -> DagRunStats {
     // Final vertex z: one dependency (the root strand), no finish of its
     // own. Its handles are placeholders aimed at its own counter; they are
     // never used because fin == null short-circuits signalling.
-    let z = {
+    let z_ptr = {
         let counter = C::make(&cfg, 1);
         let inc = C::root_inc(&counter);
         let dec = C::root_dec(&counter);
-        Box::new(Vertex::<C> {
-            counter: Some(counter),
+        Vertex::<C>::alloc_parts(
+            Some(counter),
             inc,
-            dec: Arc::new(DecPair::new(dec, dec)),
-            fin: std::ptr::null(),
-            is_left: true,
-            dead: false,
-            forks: 0,
-            body: None,
-        })
+            PoolArc::new(DecPair::new(dec, dec)),
+            std::ptr::null(),
+            true,
+            BodySlot::None,
+        )
     };
-    let z_ptr = Box::into_raw(z);
     // Root vertex u: ready immediately; signals z when its whole subtree
     // is done.
-    // SAFETY: z_ptr was just leaked and stays alive until its executor
-    // frees it, strictly after u's scope completes.
+    // SAFETY: z_ptr was just allocated and stays alive until its executor
+    // retires it, strictly after u's scope completes.
     let zc = unsafe { (*z_ptr).counter_ref() };
     let z_dec = C::root_dec(zc);
-    let u = Vertex::boxed(
+    let u = Vertex::alloc(
         &cfg,
         0,
         C::root_inc(zc),
-        Arc::new(DecPair::new(z_dec, z_dec)),
+        PoolArc::new(DecPair::new(z_dec, z_dec)),
         z_ptr,
         true,
-        Some(root),
+        root,
     );
     let start = Instant::now();
     let cfg_ref = &cfg;
-    let pool = sched::run(
-        workers,
-        vec![VertexPtr(Box::into_raw(u))],
-        Termination::DoneFlag,
-        move |worker, ptr| execute_vertex::<C>(cfg_ref, worker, ptr),
-    );
+    let pool =
+        sched::run(workers, vec![VertexPtr(u)], Termination::DoneFlag, move |worker, ptr| {
+            execute_vertex::<C>(cfg_ref, worker, ptr)
+        });
     DagRunStats { pool, elapsed: start.elapsed() }
 }
 
@@ -269,6 +311,7 @@ mod tests {
     use super::*;
     use incounter::{DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     fn counter_pair() -> (Arc<AtomicU64>, Arc<AtomicU64>) {
         let a = Arc::new(AtomicU64::new(0));

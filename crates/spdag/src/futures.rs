@@ -87,13 +87,13 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 use incounter::{CounterFamily, DecPair};
 use outset::{AddEdge, OutsetFamily, TreeOutset};
+use sched::PoolArc;
 
 use crate::dag::Ctx;
-use crate::vertex::{Body, Vertex, VertexPtr};
+use crate::vertex::{BodySlot, Vertex, VertexPtr};
 
 /// Shared state of one future: its completion out-set and value cell.
 struct FutureCore<T, O: OutsetFamily> {
@@ -133,13 +133,36 @@ impl<T, O: OutsetFamily> FutureCore<T, O> {
 /// Handles may travel to any vertex of the same dag run; any of them may
 /// [`touch`](Ctx::touch) the future any number of times (each touch is
 /// one dependent). Dropping handles never blocks the future.
+///
+/// The shared core rides in a [`PoolArc`], so handle churn recycles its
+/// header through the scheduler's size-class slabs instead of the
+/// allocator.
 pub struct FutureHandle<T, O: OutsetFamily = TreeOutset> {
-    core: Arc<FutureCore<T, O>>,
+    core: PoolArc<FutureCore<T, O>>,
 }
 
 impl<T, O: OutsetFamily> Clone for FutureHandle<T, O> {
     fn clone(&self) -> Self {
-        FutureHandle { core: Arc::clone(&self.core) }
+        FutureHandle { core: self.core.clone() }
+    }
+}
+
+/// One-shot value publisher handed to [`Ctx::future_raw`]-style bodies.
+/// A plain struct (no `Box<dyn FnOnce>`): constructing it allocates
+/// nothing beyond one [`PoolArc`] clone, and its 8-byte capture keeps
+/// the closures that carry it inside the vertex inline-body class.
+struct ValueSetter<T, O: OutsetFamily> {
+    core: PoolArc<FutureCore<T, O>>,
+}
+
+impl<T: Send + Sync, O: OutsetFamily> ValueSetter<T, O> {
+    /// Publish the future's value. Consumes the setter: the type system
+    /// enforces the single write `FutureCore::value_ref` relies on.
+    fn set(self, value: T) {
+        // SAFETY: the setter is handed out once and consumed here, by a
+        // strand of the future's own subtree — ordered before every read
+        // via the completion protocol (see FutureCore).
+        unsafe { *self.core.value.get() = Some(value) };
     }
 }
 
@@ -274,7 +297,7 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
     {
         self.future_raw::<O, T, _>(expected_dependents, move |c, set_value| {
             let value = body(c);
-            set_value(value);
+            set_value.set(value);
         })
     }
 
@@ -289,9 +312,9 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
     where
         O: OutsetFamily,
         T: Send + Sync + 'static,
-        F: for<'b> FnOnce(Ctx<'b, C>, Box<dyn FnOnce(T) + Send>) + Send + 'static,
+        F: for<'b> FnOnce(Ctx<'b, C>, ValueSetter<T, O>) + Send + 'static,
     {
-        let core = Arc::new(FutureCore::<T, O> {
+        let core = PoolArc::new(FutureCore::<T, O> {
             outset: O::make_hinted(fanout_hint),
             value: UnsafeCell::new(None),
             completed: AtomicBool::new(false),
@@ -309,9 +332,10 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         // Completion vertex: waits (count 1) for the future's body
         // subtree; its own body publishes completion and sweeps the
         // out-set — it runs with a worker context, so swept dependents go
-        // straight onto the deque as one batch.
-        let sweep_core = Arc::clone(&core);
-        let completion: Body<C> = Box::new(move |c: Ctx<'_, C>| {
+        // straight onto the deque as one batch. Captures one PoolArc (8
+        // bytes): an inline body.
+        let sweep_core = core.clone();
+        let completion = BodySlot::from_closure(move |c: Ctx<'_, C>| {
             let fulfill_start = obs::now();
             sweep_core.completed.store(true, Ordering::SeqCst);
             let mut ready: Vec<VertexPtr<C>> = Vec::new();
@@ -332,35 +356,29 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
             );
             c.worker.push_batch(ready);
         });
-        let fw = Vertex::boxed(cfg, 1, i1, pair, fin, true, Some(completion));
-        let fw_ptr = Box::into_raw(fw);
+        let fw_ptr = Vertex::alloc(cfg, 1, i1, pair, fin, true, completion);
         // Body vertex: ready now, finish vertex = the completion vertex
         // (the same wiring Ctx::chain gives its `first`).
-        // SAFETY: just leaked, freed only by its executor, strictly after
-        // the body subtree (which signals through these handles) is done.
+        // SAFETY: just allocated, retired only by its executor, strictly
+        // after the body subtree (which signals through these handles) is
+        // done.
         let wc = unsafe { (*fw_ptr).counter_ref() };
         let h_dec = C::root_dec(wc);
-        let value_core = Arc::clone(&core);
-        let body: Body<C> = Box::new(move |c: Ctx<'_, C>| {
-            let setter: Box<dyn FnOnce(T) + Send> = Box::new(move |value| {
-                // SAFETY: the single write (the one-shot setter is handed
-                // out once and called at most once, by a strand of the
-                // future's own subtree), ordered before every read via
-                // the completion protocol (see FutureCore).
-                unsafe { *value_core.value.get() = Some(value) };
-            });
-            body(c, setter);
-        });
-        let fv = Vertex::boxed(
+        // The setter is a plain 8-byte struct built up front (not a
+        // Box<dyn FnOnce> built at run time), so the body wrapper's
+        // capture is the user closure plus one word.
+        let setter = ValueSetter { core: core.clone() };
+        let body = BodySlot::from_closure(move |c: Ctx<'_, C>| body(c, setter));
+        let fv = Vertex::alloc(
             cfg,
             0,
             C::root_inc(wc),
-            Arc::new(DecPair::new(h_dec, h_dec)),
+            PoolArc::new(DecPair::new(h_dec, h_dec)),
             fw_ptr,
             true,
-            Some(body),
+            body,
         );
-        worker.push(VertexPtr(Box::into_raw(fv)));
+        worker.push(VertexPtr(fv));
         FutureHandle { core }
     }
 
@@ -452,7 +470,7 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         self.future_raw::<O, T, _>(1, move |c, set_value| {
             c.touch(&input, move |c2, a| {
                 let value = f(c2, a);
-                set_value(value);
+                set_value.set(value);
             });
         })
     }
@@ -488,7 +506,7 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
                     // completion (the outer touch ordered it).
                     let a = unsafe { left2.core.value_ref() };
                     let value = f(c3, a, b);
-                    set_value(value);
+                    set_value.set(value);
                 });
             });
         })
@@ -528,8 +546,10 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         let u = self.vertex;
         obs::counter!("spdag.touches").inc();
         obs::trace::record(obs::EventKind::FutureTouch, u as *const Vertex<C> as u64);
-        let core = Arc::clone(&future.core);
-        let body: Body<C> = Box::new(move |c: Ctx<'_, C>| {
+        let core = future.core.clone();
+        // Captures one PoolArc plus the user continuation: inline as long
+        // as `then`'s captures stay within two words.
+        let body = BodySlot::from_closure(move |c: Ctx<'_, C>| {
             // SAFETY: this vertex is scheduled only by the completion
             // sweep or the post-seal bounce, both ordered after the value
             // write.
@@ -539,8 +559,7 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         // The waiting vertex takes over u's scope position (inc, pair,
         // fin, side) like a chain continuation, and waits on exactly one
         // dependency of its own: the future's completion.
-        let w = Vertex::boxed(self.cfg, 1, u.inc, Arc::clone(&u.dec), u.fin, u.is_left, Some(body));
-        let w_ptr = Box::into_raw(w);
+        let w_ptr = Vertex::alloc(self.cfg, 1, u.inc, u.dec.clone(), u.fin, u.is_left, body);
         u.dead = true;
         let token = w_ptr as usize as u64;
         match O::add(&future.core.outset, token, self.worker.worker_id() as u64) {
@@ -585,6 +604,7 @@ mod tests {
     use incounter::{DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
     use outset::MutexOutset;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn touch_after_completion_gets_value() {

@@ -40,7 +40,7 @@
 use incounter::CounterFamily;
 
 use crate::dag::Ctx;
-use crate::vertex::{Body, Vertex, VertexPtr};
+use crate::vertex::{Body, BodySlot, Vertex, VertexPtr};
 
 /// A multi-async view of the running vertex (see module docs).
 ///
@@ -65,11 +65,17 @@ impl<'a, C: CounterFamily> Scope<'a, C> {
     /// parallel with the rest of this body, and the finish vertex waits
     /// for it (and everything it transitively creates).
     pub fn fork(&mut self, body: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static) {
-        self.fork_boxed(Box::new(body));
+        // Straight to BodySlot (not through Box) so small captures land
+        // inline in the forked vertex.
+        self.fork_slot(BodySlot::from_closure(body));
     }
 
     /// Monomorphisation-friendly version of [`fork`](Scope::fork).
     pub fn fork_boxed(&mut self, body: Body<C>) {
+        self.fork_slot(BodySlot::from_boxed(body));
+    }
+
+    fn fork_slot(&mut self, body: BodySlot<C>) {
         let (cfg, worker) = (self.ctx.cfg, self.ctx.worker);
         let u = self.ctx.vertex_mut();
         // One increment, then rotate this vertex onto the right-hand
@@ -77,8 +83,8 @@ impl<'a, C: CounterFamily> Scope<'a, C> {
         // child, ready immediately.
         let fin = u.fin;
         let (i1, pair) = u.fork_rotate(cfg);
-        let v = Vertex::boxed(cfg, 0, i1, pair, fin, true, Some(body));
-        worker.push(VertexPtr(Box::into_raw(v)));
+        let v = Vertex::alloc(cfg, 0, i1, pair, fin, true, body);
+        worker.push(VertexPtr(v));
     }
 
     /// Number of forks performed through this scope so far.

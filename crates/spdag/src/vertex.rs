@@ -17,15 +17,33 @@
 //!   instead of signalling;
 //! * the body closure, taken exactly once by the executing worker.
 //!
+//! ## Allocation and recycling
+//!
+//! Vertices are the runtime's highest-churn allocation: every `spawn`
+//! makes two, every `chain`/`future`/`touch` at least one, and each lives
+//! exactly from creation to its single execution. Since PR 5 they are
+//! carved from the scheduler's size-class slab pools
+//! ([`sched::recycle`]) instead of `Box`: `Vertex::alloc` records the
+//! size class the memory came from in the `pooled` byte (or
+//! [`sched::recycle::UNPOOLED`] when the recycle switch was off at birth
+//! or `Vertex<C>` is off the class ladder), and `Vertex::retire` sends
+//! the slab back to that class after running drop glue — so warm-run
+//! spawn churn recirculates a small working set of slabs and stops
+//! touching the allocator. Small bodies (captures up to
+//! `INLINE_BODY_BYTES`) are stored *inside* the vertex (`BodySlot`)
+//! rather than behind `Box<dyn FnOnce>`, which removes the second
+//! allocation of the old spawn path; the third (the shared `DecPair`)
+//! now rides in a [`PoolArc`] recycled through the same classes.
+//!
 //! ## Ownership, aliasing and lifetime discipline
 //!
-//! Vertices are heap-allocated and travel through the scheduler as raw
-//! pointers (`VertexPtr`). The executing worker takes back ownership,
-//! holds the vertex **exclusively** while its body runs (which is what
-//! lets [`Scope::fork`](crate::Scope::fork) rotate the handles through
-//! plain `&mut` fields), and frees it when the body (plus signal)
-//! completes. This is safe because of the sp-dag structure the paper's
-//! analysis leans on:
+//! Vertices travel through the scheduler as raw pointers (`VertexPtr`).
+//! The executing worker takes back ownership, holds the vertex
+//! **exclusively** while its body runs (which is what lets
+//! [`Scope::fork`](crate::Scope::fork) rotate the handles through plain
+//! `&mut` fields), and retires it when the body (plus signal) completes.
+//! This is safe because of the sp-dag structure the paper's analysis
+//! leans on:
 //!
 //! * a vertex executes only after all vertices that reference it (as
 //!   their `fin`, or through handles into its counter) have signalled;
@@ -33,18 +51,147 @@
 //!   from other threads is `counter` (by its scope's concurrent signals),
 //!   and counters are `Sync`;
 //! * handles a vertex hands out point into its *finish vertex's* counter,
-//!   and a finish vertex executes — hence is freed — strictly after every
-//!   vertex of its scope.
+//!   and a finish vertex executes — hence is retired — strictly after
+//!   every vertex of its scope.
 
-use std::sync::Arc;
+use std::mem::{ManuallyDrop, MaybeUninit};
 
 use incounter::{CounterFamily, DecPair};
-use sched::Word;
+use sched::{PoolArc, Word};
 
 use crate::dag::Ctx;
 
 /// A vertex body: run exactly once with the executing worker's context.
 pub type Body<C> = Box<dyn for<'a> FnOnce(Ctx<'a, C>) + Send + 'static>;
+
+/// Capture-size ceiling (bytes) for bodies stored inline in the vertex.
+/// Three words covers the dominant capture shapes in `examples/` and
+/// `bench/workloads.rs` (an `Arc` or two plus a scalar).
+pub(crate) const INLINE_BODY_BYTES: usize = 24;
+
+/// Alignment ceiling for inline bodies (the buffer is 8-aligned).
+pub(crate) const INLINE_BODY_ALIGN: usize = 8;
+
+#[repr(align(8))]
+struct InlineBuf([MaybeUninit<u8>; INLINE_BODY_BYTES]);
+
+/// A closure stored by value in the vertex: the capture bytes plus
+/// monomorphized call/drop thunks. Kept as a standalone struct (not enum
+/// payload fields) so it can implement `Drop` — covering the
+/// never-executed case — while still being movable out of `BodySlot`
+/// whole.
+pub(crate) struct InlineBody<C: CounterFamily> {
+    buf: InlineBuf,
+    call: for<'a> unsafe fn(*mut u8, Ctx<'a, C>),
+    drop_fn: unsafe fn(*mut u8),
+}
+
+impl<C: CounterFamily> InlineBody<C> {
+    fn new<F>(f: F) -> InlineBody<C>
+    where
+        F: for<'a> FnOnce(Ctx<'a, C>) + Send + 'static,
+    {
+        debug_assert!(std::mem::size_of::<F>() <= INLINE_BODY_BYTES);
+        debug_assert!(std::mem::align_of::<F>() <= INLINE_BODY_ALIGN);
+        let mut buf = InlineBuf([MaybeUninit::uninit(); INLINE_BODY_BYTES]);
+        // SAFETY: size/align checked above; the buffer is exclusively ours.
+        unsafe { (buf.0.as_mut_ptr() as *mut F).write(f) };
+        InlineBody { buf, call: call_inline::<C, F>, drop_fn: drop_inline::<F> }
+    }
+
+    /// Run the closure, consuming it. The capture is read out of the
+    /// buffer by value inside the monomorphized thunk; `ManuallyDrop`
+    /// suppresses our `Drop` so the capture is consumed exactly once.
+    fn invoke(self, ctx: Ctx<'_, C>) {
+        let mut this = ManuallyDrop::new(self);
+        let buf = this.buf.0.as_mut_ptr() as *mut u8;
+        // SAFETY: the buffer holds a live F (written in `new`, not yet
+        // taken); `call` is the matching monomorphized thunk.
+        unsafe { (this.call)(buf, ctx) }
+    }
+}
+
+impl<C: CounterFamily> Drop for InlineBody<C> {
+    fn drop(&mut self) {
+        // SAFETY: only reached when the closure was never invoked, so the
+        // buffer still holds a live F for the matching drop thunk.
+        unsafe { (self.drop_fn)(self.buf.0.as_mut_ptr() as *mut u8) }
+    }
+}
+
+unsafe fn call_inline<C, F>(buf: *mut u8, ctx: Ctx<'_, C>)
+where
+    C: CounterFamily,
+    F: for<'a> FnOnce(Ctx<'a, C>) + Send + 'static,
+{
+    // SAFETY: caller guarantees `buf` holds a live F; reading it by value
+    // transfers ownership to this frame.
+    let f = unsafe { (buf as *mut F).read() };
+    f(ctx);
+}
+
+unsafe fn drop_inline<F>(buf: *mut u8) {
+    // SAFETY: caller guarantees `buf` holds a live F.
+    unsafe { std::ptr::drop_in_place(buf as *mut F) }
+}
+
+/// The vertex's body storage: empty, inline (captures ≤
+/// `INLINE_BODY_BYTES`, no heap), or the boxed fallback.
+pub(crate) enum BodySlot<C: CounterFamily> {
+    None,
+    Boxed(Body<C>),
+    Inline(InlineBody<C>),
+}
+
+impl<C: CounterFamily> BodySlot<C> {
+    /// Store `f` inline when it fits the size class, boxed otherwise.
+    pub(crate) fn from_closure<F>(f: F) -> BodySlot<C>
+    where
+        F: for<'a> FnOnce(Ctx<'a, C>) + Send + 'static,
+    {
+        if std::mem::size_of::<F>() <= INLINE_BODY_BYTES
+            && std::mem::align_of::<F>() <= INLINE_BODY_ALIGN
+        {
+            obs::counter!("spdag.body_inline").inc();
+            BodySlot::Inline(InlineBody::new(f))
+        } else {
+            obs::counter!("spdag.body_boxed").inc();
+            BodySlot::Boxed(Box::new(f))
+        }
+    }
+
+    /// Store an already-boxed body (the `_boxed` public API paths).
+    pub(crate) fn from_boxed(body: Body<C>) -> BodySlot<C> {
+        obs::counter!("spdag.body_boxed").inc();
+        BodySlot::Boxed(body)
+    }
+
+    /// Move the body out (if any), leaving the slot empty. The result is
+    /// detached from the vertex, so running it may mutably borrow the
+    /// vertex that held it.
+    pub(crate) fn take(&mut self) -> Option<TakenBody<C>> {
+        match std::mem::replace(self, BodySlot::None) {
+            BodySlot::None => None,
+            BodySlot::Boxed(body) => Some(TakenBody::Boxed(body)),
+            BodySlot::Inline(body) => Some(TakenBody::Inline(body)),
+        }
+    }
+}
+
+/// A body moved out of its vertex, ready to run exactly once.
+pub(crate) enum TakenBody<C: CounterFamily> {
+    Boxed(Body<C>),
+    Inline(InlineBody<C>),
+}
+
+impl<C: CounterFamily> TakenBody<C> {
+    pub(crate) fn run(self, ctx: Ctx<'_, C>) {
+        match self {
+            TakenBody::Boxed(body) => body(ctx),
+            TakenBody::Inline(body) => body.invoke(ctx),
+        }
+    }
+}
 
 /// One vertex of the sp-dag.
 pub struct Vertex<C: CounterFamily> {
@@ -54,7 +201,7 @@ pub struct Vertex<C: CounterFamily> {
     /// Increment handle into `fin`'s counter (rotated by `Scope::fork`).
     pub(crate) inc: C::Inc,
     /// Ordered decrement pair into `fin`'s counter, shared with the sibling.
-    pub(crate) dec: Arc<DecPair<C::Dec>>,
+    pub(crate) dec: PoolArc<DecPair<C::Dec>>,
     /// The finish vertex this vertex signals; null only for the final
     /// vertex of the whole dag.
     pub(crate) fin: *const Vertex<C>,
@@ -62,11 +209,16 @@ pub struct Vertex<C: CounterFamily> {
     pub(crate) is_left: bool,
     /// Set when the vertex terminates by spawning/chaining (no signal).
     pub(crate) dead: bool,
+    /// Size class this vertex's memory came from
+    /// ([`sched::recycle::UNPOOLED`] when plainly allocated). Immutable
+    /// provenance: `Vertex::retire` routes by it, so flipping the
+    /// recycle switch mid-run never mismatches alloc/free.
+    pub(crate) pooled: u8,
     /// Number of `Scope::fork`s performed by this vertex (also salts the
     /// placement key so consecutive forks hash to different leaves).
     pub(crate) forks: u64,
     /// The code to run; taken by the executor.
-    pub(crate) body: Option<Body<C>>,
+    pub(crate) body: BodySlot<C>,
 }
 
 // SAFETY: the only field accessed through `&Vertex` across threads is
@@ -79,26 +231,99 @@ unsafe impl<C: CounterFamily> Sync for Vertex<C> {}
 
 impl<C: CounterFamily> Vertex<C> {
     /// Allocate a vertex (the paper's `new_vertex`, with the counter made
-    /// lazily: `n = 0` vertices carry no counter).
-    pub(crate) fn boxed(
+    /// lazily: `n = 0` vertices carry no counter), preferring a recycled
+    /// size-class slab. The caller owns the returned pointer and must
+    /// eventually pass it to `Vertex::retire`.
+    pub(crate) fn alloc(
         cfg: &C::Config,
         n: u64,
         inc: C::Inc,
-        dec: Arc<DecPair<C::Dec>>,
+        dec: PoolArc<DecPair<C::Dec>>,
         fin: *const Vertex<C>,
         is_left: bool,
-        body: Option<Body<C>>,
-    ) -> Box<Vertex<C>> {
-        Box::new(Vertex {
-            counter: if n > 0 { Some(C::make(cfg, n)) } else { None },
-            inc,
-            dec,
-            fin,
-            is_left,
-            dead: false,
-            forks: 0,
-            body,
-        })
+        body: BodySlot<C>,
+    ) -> *mut Vertex<C> {
+        let counter = if n > 0 { Some(C::make(cfg, n)) } else { None };
+        Self::alloc_parts(counter, inc, dec, fin, is_left, body)
+    }
+
+    /// As `Vertex::alloc` with a pre-built counter (the dag's final
+    /// vertex builds its root handles from the counter before the vertex
+    /// exists).
+    pub(crate) fn alloc_parts(
+        counter: Option<C::Counter>,
+        inc: C::Inc,
+        dec: PoolArc<DecPair<C::Dec>>,
+        fin: *const Vertex<C>,
+        is_left: bool,
+        body: BodySlot<C>,
+    ) -> *mut Vertex<C> {
+        let class =
+            if sched::recycle::enabled() { sched::recycle::class_of::<Vertex<C>>() } else { None };
+        match class {
+            Some(class) => {
+                let (raw, reused) = sched::recycle::acquire_or_alloc(class);
+                if reused {
+                    obs::counter!("sched.vertex_reuse").inc();
+                } else {
+                    obs::counter!("sched.vertex_alloc").inc();
+                }
+                let ptr = raw as *mut Vertex<C>;
+                // SAFETY: the slab is class-sized ≥ size_of::<Vertex<C>>,
+                // CLASS_ALIGN-aligned ≥ align_of, and exclusively ours.
+                unsafe {
+                    ptr.write(Vertex {
+                        counter,
+                        inc,
+                        dec,
+                        fin,
+                        is_left,
+                        dead: false,
+                        pooled: class,
+                        forks: 0,
+                        body,
+                    });
+                }
+                ptr
+            }
+            None => {
+                obs::counter!("sched.vertex_alloc").inc();
+                Box::into_raw(Box::new(Vertex {
+                    counter,
+                    inc,
+                    dec,
+                    fin,
+                    is_left,
+                    dead: false,
+                    pooled: sched::recycle::UNPOOLED,
+                    forks: 0,
+                    body,
+                }))
+            }
+        }
+    }
+
+    /// Retire an executed (or otherwise finally-owned) vertex: run drop
+    /// glue, then route the memory by its birth provenance — back to its
+    /// size class, or to the allocator.
+    ///
+    /// # Safety
+    /// `ptr` must have come from `Vertex::alloc`/[`Vertex::alloc_parts`],
+    /// be exclusively owned by the caller, and never be used afterwards.
+    pub(crate) unsafe fn retire(ptr: *mut Vertex<C>) {
+        // SAFETY: exclusive ownership per the caller contract.
+        let class = unsafe { (*ptr).pooled };
+        if class == sched::recycle::UNPOOLED {
+            obs::counter!("sched.vertex_dropped").inc();
+            // SAFETY: unpooled vertices were Box-allocated in alloc_parts.
+            drop(unsafe { Box::from_raw(ptr) });
+        } else {
+            // SAFETY: valid for drop per the caller contract; the slab
+            // goes back to the class it was acquired from.
+            unsafe { std::ptr::drop_in_place(ptr) };
+            obs::counter!("sched.vertex_recycled").inc();
+            sched::recycle::release(class, ptr as *mut u8);
+        }
     }
 
     /// The fork step shared by [`Scope::fork`](crate::Scope::fork) and the
@@ -111,7 +336,7 @@ impl<C: CounterFamily> Vertex<C> {
     /// Encodes the ordering invariant the analysis leans on: the
     /// increment (grow + arrive, Figure 5) happens strictly **before**
     /// the inherited handle is claimed.
-    pub(crate) fn fork_rotate(&mut self, cfg: &C::Config) -> (C::Inc, Arc<DecPair<C::Dec>>) {
+    pub(crate) fn fork_rotate(&mut self, cfg: &C::Config) -> (C::Inc, PoolArc<DecPair<C::Dec>>) {
         // SAFETY: `fin` is alive — this vertex is an unfinished strand of
         // its scope (same argument as Ctx::spawn).
         let fin_ref = unsafe { &*self.fin };
@@ -122,9 +347,9 @@ impl<C: CounterFamily> Vertex<C> {
         let (d2, i1, i2) = unsafe { C::increment(cfg, fc, self.inc, self.is_left, vid) };
         // ... then claim the inherited handle and build the shared pair.
         let d1 = self.dec.claim();
-        let pair = Arc::new(C::make_pair(cfg, d1, d2));
+        let pair = PoolArc::new(C::make_pair(cfg, d1, d2));
         self.inc = i2;
-        self.dec = Arc::clone(&pair);
+        self.dec = pair.clone();
         self.is_left = false;
         self.forks += 1;
         (i1, pair)

@@ -126,15 +126,19 @@ fn million_future_churn_is_conserved_and_bounded() {
             "gauge out of step with recycled/reused/trimmed flows"
         );
         // Steady state mints (almost) nothing: once the first quarter of
-        // the rounds has warmed the cache, the rest must run on reuse.
+        // the rounds has warmed the cache, each later round may mint at
+        // most O(peak-live) fresh blocks — scheduling jitter shifts
+        // which worker's cache holds the standby blocks, and a round
+        // whose peak concurrency exceeds every earlier round's mints the
+        // difference — but never O(churn) (`chains * len` per round).
         let warmup = rounds / 4;
-        let early: u64 = allocated_per_round[..warmup].iter().sum();
-        let late: u64 = allocated_per_round[warmup..].iter().sum();
-        assert!(
-            late <= early.max(chains),
-            "allocator traffic did not reach steady state: per-round fresh \
-             allocations {allocated_per_round:?} (warmup = first {warmup})"
-        );
+        for (i, &a) in allocated_per_round.iter().enumerate().skip(warmup) {
+            assert!(
+                a <= chains,
+                "allocator traffic did not reach steady state: round {i} minted {a} fresh \
+                 blocks (> {chains} = peak-live order); per-round {allocated_per_round:?}"
+            );
+        }
         assert!(
             d.counter("outset.blocks_reused") > d.counter("outset.blocks_allocated"),
             "churn of {} futures should be dominated by reuse (reused {}, allocated {})",
