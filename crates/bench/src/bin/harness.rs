@@ -1,23 +1,29 @@
 //! The evaluation harness: regenerates every figure of the paper.
 //!
 //! ```text
-//! harness <fig8|...|fig15|outset|growth|recycle|spawncost|all|obs|trace> [flags]
+//! harness <fig8|...|fig15|outset|growth|recycle|spawncost|strandcost|all|obs|trace> [flags]
 //!
-//! `obs`, `trace`, `recycle` and `spawncost` are study subcommands
-//! (never part of `all`): `obs` prints one unified registry snapshot of
-//! a fanout-broadcast run (with `--assert-bound` it also recomputes the
-//! paper's per-add contention bound, the block- and vertex-recycling
-//! conservation identities, the warm-run zero-fresh-vertex claim, and
-//! the pipeline steady-state footprint, failing if any is violated);
-//! `trace` records the run and writes Chrome Trace Event Format JSON to
-//! `--out` (see `docs/observability.md`); `recycle` A/B's
+//! `obs`, `trace`, `recycle`, `spawncost` and `strandcost` are study
+//! subcommands (never part of `all`): `obs` prints one unified registry
+//! snapshot of a fanout-broadcast run (with `--assert-bound` it also
+//! recomputes the paper's per-add contention bound, the block-, vertex-
+//! and strand-recycling conservation identities — the last with the
+//! suspended/resumed terms — the warm-run zero-fresh-vertex and
+//! zero-fresh-strand-frame claims, and the steady-state footprints
+//! including suspended-but-live strand frames, failing if any is
+//! violated); `trace` records the run and writes Chrome Trace Event
+//! Format JSON to `--out` (see `docs/observability.md`); `recycle` A/B's
 //! `pipeline_stages` and `fanout_broadcast` with slab recycling on vs
 //! off and writes a machine-checkable JSON summary next to the results;
 //! `spawncost` A/B's the vertex/continuation fast path (`fib`,
 //! `pipeline_stages`, `fanout_broadcast` with both the vertex class
 //! pools and the out-set block pool flipped together), reporting vertex
 //! alloc/reuse, inline vs boxed bodies and the wake-path counters, to
-//! `results/spawncost.json`.
+//! `results/spawncost.json`; `strandcost` A/B's blocking
+//! (`touch_await`, strands that park) against continuation-passing
+//! (`touch`) awaits on `await_chain` and `pipeline_stages`, reporting
+//! suspend/resume and strand-frame counters to
+//! `results/strandcost.json`.
 //!
 //! flags:
 //!   --n <N>            benchmark size (default: 131072; paper: 8388608)
@@ -42,10 +48,10 @@ use std::time::Duration;
 use dynsnzi_bench::report::{fmt_throughput, print_row, Record, Reporter};
 use dynsnzi_bench::sweep::{median_duration, run_repeated, throughput_per_core, MeasureOpts};
 use dynsnzi_bench::workloads::{
-    calibrate_dummy_unit_ns, fanin_ops, fanout_broadcast, fanout_broadcast_ops,
-    fanout_broadcast_probed, fib, indegree2_ops, outset_footprint_report, pipeline_stages,
-    pipeline_stages_ops, raw_counter_bench, raw_growth_bench, raw_outset_bench, GrowthStats,
-    RawCounter, RawOutset,
+    await_chain, await_chain_ops, calibrate_dummy_unit_ns, fanin_ops, fanout_broadcast,
+    fanout_broadcast_ops, fanout_broadcast_probed, fib, indegree2_ops, outset_footprint_report,
+    pipeline_stages, pipeline_stages_blocking, pipeline_stages_ops, raw_counter_bench,
+    raw_growth_bench, raw_outset_bench, GrowthStats, RawCounter, RawOutset, TouchMode,
 };
 use dynsnzi_bench::Algo;
 use incounter::{DynConfig, DynSnzi};
@@ -101,7 +107,14 @@ fn parse_args() -> Opts {
             fig if fig.starts_with("fig")
                 || matches!(
                     fig,
-                    "all" | "outset" | "growth" | "recycle" | "spawncost" | "obs" | "trace"
+                    "all"
+                        | "outset"
+                        | "growth"
+                        | "recycle"
+                        | "spawncost"
+                        | "strandcost"
+                        | "obs"
+                        | "trace"
                 ) =>
             {
                 figures.push(fig.to_string())
@@ -176,6 +189,9 @@ fn main() {
     if explicit("spawncost") {
         spawncost_study(&opts);
     }
+    if explicit("strandcost") {
+        strandcost_study(&opts);
+    }
 }
 
 /// `harness obs`: run the fanout broadcast with the whole runtime's
@@ -202,10 +218,108 @@ fn obs_cmd(opts: &Opts) {
     if opts.assert_bound {
         let contention_ok = check_contention_bounds(&d, w);
         let recycle_ok = check_recycle_bounds(opts);
-        if !(contention_ok && recycle_ok) {
+        let strand_ok = check_strand_bounds(opts);
+        if !(contention_ok && recycle_ok && strand_ok) {
             std::process::exit(1);
         }
     }
+}
+
+/// Recompute the strand accounting on a blocking `await_chain` run —
+/// the workload where every stage parks. Three identities close the
+/// suspended-vertex hole the plain vertex checks had:
+///
+/// * **Exactly-once**: at quiescence `spdag.strand_suspend ==
+///   spdag.strand_resume` — every park was repaid by one resumption.
+/// * **Conservation with suspension terms**: a parked strand's vertex is
+///   born once but crosses the executor `1 + resumes` times, so the
+///   per-execution counters do *not* balance against births; the
+///   birth/death identity (`alloc + reuse == recycled + dropped`) still
+///   must, for vertices and spilled strand frames alike, because
+///   suspension defers retirement rather than skipping it.
+/// * **Footprint with live parked frames**: the class-pool ceiling gains
+///   a `(suspend − resume)` term — a frame parked across the snapshot
+///   holds its slab without it being "leaked" by the pool. At the
+///   quiescent boundaries used here the term is zero, which is itself
+///   part of the claim.
+///
+/// Also re-checks the warm-run claim for strands: with the class ladder
+/// warm, a repeat run mints zero fresh spilled frames (and the
+/// `await_chain` frames are small enough to inline — allocation-free
+/// before the pool is even consulted). Returns whether everything
+/// passed.
+fn check_strand_bounds(opts: &Opts) -> bool {
+    let w = opts.measure.max_workers;
+    let n = (opts.measure.n / 4).max(1 << 10);
+    let depth = (n / 16).max(64);
+    let cfg = || DynConfig::with_threshold(Algo::default_threshold(w));
+    println!("\n## Strand accounting — await_chain depth={depth} (blocking), workers={w}");
+
+    let mut all_ok = true;
+    let mut check = |name: &str, pass: bool, detail: String| {
+        println!("  [{}] {name}: {detail}", if pass { "ok  " } else { "FAIL" });
+        all_ok &= pass;
+    };
+
+    let before = obs::Snapshot::take();
+    for _ in 0..3 {
+        await_chain::<DynSnzi>(cfg(), w, depth, TouchMode::Blocking);
+    }
+    let warm_cached = sched::recycle::cached_slabs();
+    let mid = obs::Snapshot::take();
+    await_chain::<DynSnzi>(cfg(), w, depth, TouchMode::Blocking);
+    let steady = obs::Snapshot::take().diff(&mid);
+    let total = obs::Snapshot::take().diff(&before);
+
+    let mut parked_live = 0u64;
+    if !obs::enabled() || total.is_empty() {
+        println!("  (telemetry compiled out; gauge-only checks)");
+    } else {
+        let (s, r) = (total.counter("spdag.strand_suspend"), total.counter("spdag.strand_resume"));
+        parked_live = s.saturating_sub(r);
+        check(
+            "suspend-resume",
+            s == r && s > 0,
+            format!("suspended {s} == resumed {r} (exactly-once, and the workload did park)"),
+        );
+        let born = total.counter("sched.strand_alloc") + total.counter("sched.strand_reuse");
+        let dead = total.counter("sched.strand_recycled") + total.counter("sched.strand_dropped");
+        check(
+            "strand-frame-conservation",
+            born == dead,
+            format!("spilled frames born {born} == dead {dead}"),
+        );
+        let vborn = total.counter("sched.vertex_alloc") + total.counter("sched.vertex_reuse");
+        let vdead = total.counter("sched.vertex_recycled") + total.counter("sched.vertex_dropped");
+        check(
+            "vertex-conservation+suspension",
+            vborn == vdead,
+            format!(
+                "born {vborn} == dead {vdead} with {s} suspends deferring (and {r} resumes \
+                 repaying) retirement"
+            ),
+        );
+        if sched::recycle::enabled() {
+            let (sa, si) =
+                (steady.counter("sched.strand_alloc"), steady.counter("spdag.strand_inline"));
+            check(
+                "warm-zero-strand-alloc",
+                sa == 0,
+                format!("warm run: {sa} fresh spilled frames ({si} frames inlined alloc-free)"),
+            );
+        }
+    }
+    let cached = sched::recycle::cached_slabs();
+    check(
+        "strand-footprint-ceiling",
+        cached <= 2 * warm_cached + 64 + parked_live as usize,
+        format!(
+            "class pools {cached} slabs <= 2 x warm {warm_cached} + 64 + {parked_live} \
+             suspended-but-live frames"
+        ),
+    );
+    println!("# strand checks: {}", if all_ok { "PASS" } else { "FAIL" });
+    all_ok
 }
 
 /// Recompute the slab-recycling accounting — both the out-set block pool
@@ -648,6 +762,134 @@ fn spawncost_study(opts: &Opts) {
     let path = opts.outdir.join("spawncost.json");
     std::fs::create_dir_all(&opts.outdir).expect("results dir");
     std::fs::write(&path, json).expect("write spawncost.json");
+    println!("# wrote {} and {}", rep.path().display(), path.display());
+    if !obs::enabled() {
+        println!("(telemetry compiled out — all counters read zero; wall clock still valid)");
+    }
+}
+
+/// `harness strandcost`: the blocking-vs-CPS await A/B. Each workload
+/// runs once per [`TouchMode`] — `await_chain` flips the per-stage
+/// future style, `pipeline_stages` swaps its interior cells between
+/// nested CPS touches and a two-await strand — with three cold runs
+/// warming the pools, then the timed warm runs snapshot-diffed for the
+/// suspension and strand-frame counters. The CPS rows read zero
+/// suspends by construction; the blocking rows must show
+/// `strand_suspend == strand_resume` and (with recycling on) zero fresh
+/// spilled frames — CI checks exactly that from
+/// `results/strandcost.json`.
+fn strandcost_study(opts: &Opts) {
+    let w = opts.measure.max_workers;
+    let n = (opts.measure.n / 4).max(1 << 10);
+    let (stages, width) = (32u64, (n / 64).max(16));
+    let depth = (n / 16).max(64);
+    let mut rep = Reporter::create(&opts.outdir, "strandcost").expect("results dir");
+    println!("\n## Strand-cost study — blocking vs CPS awaits, workers={w}");
+    print_row(&[
+        "workload / mode".to_string(),
+        "wall (s)".to_string(),
+        "suspends".to_string(),
+        "resumes".to_string(),
+        "inline".to_string(),
+        "spilled".to_string(),
+        "frame alloc".to_string(),
+        "frame reuse".to_string(),
+    ]);
+    let cfg = || DynConfig::with_threshold(Algo::default_threshold(w));
+    type Runner<'a> = (&'a str, TouchMode, Box<dyn Fn() -> Duration + 'a>);
+    let runners: [Runner<'_>; 4] = [
+        (
+            "await_chain",
+            TouchMode::Cps,
+            Box::new(move || await_chain::<DynSnzi>(cfg(), w, depth, TouchMode::Cps)),
+        ),
+        (
+            "await_chain",
+            TouchMode::Blocking,
+            Box::new(move || await_chain::<DynSnzi>(cfg(), w, depth, TouchMode::Blocking)),
+        ),
+        (
+            "pipeline_stages",
+            TouchMode::Cps,
+            Box::new(move || {
+                pipeline_stages::<DynSnzi, outset::TreeOutset>(cfg(), w, stages, width)
+            }),
+        ),
+        (
+            "pipeline_stages",
+            TouchMode::Blocking,
+            Box::new(move || {
+                pipeline_stages_blocking::<DynSnzi, outset::TreeOutset>(cfg(), w, stages, width)
+            }),
+        ),
+    ];
+    let mut configs = String::new();
+    for (name, mode, runner) in &runners {
+        // Warm the class pools so the measured runs report steady state
+        // (same rationale as the spawn-cost study's cold phase).
+        for _ in 0..3 {
+            let _cold = runner();
+        }
+        let before = obs::Snapshot::take();
+        let elapsed = median_duration(&run_repeated(opts.measure.runs, &runner));
+        let d = obs::Snapshot::take().diff(&before);
+        let counters = [
+            ("strand_suspend", d.counter("spdag.strand_suspend")),
+            ("strand_resume", d.counter("spdag.strand_resume")),
+            ("touch_awaits", d.counter("spdag.touch_awaits")),
+            ("touches", d.counter("spdag.touches")),
+            ("strand_inline", d.counter("spdag.strand_inline")),
+            ("strand_spilled", d.counter("spdag.strand_spilled")),
+            ("strand_alloc", d.counter("sched.strand_alloc")),
+            ("strand_reuse", d.counter("sched.strand_reuse")),
+            ("vertex_alloc", d.counter("sched.vertex_alloc")),
+            ("vertex_reuse", d.counter("sched.vertex_reuse")),
+        ];
+        let get = |key: &str| counters.iter().find(|(k, _)| *k == key).unwrap().1;
+        print_row(&[
+            format!("{name} / {}", mode.name()),
+            format!("{:.6}", elapsed.as_secs_f64()),
+            get("strand_suspend").to_string(),
+            get("strand_resume").to_string(),
+            get("strand_inline").to_string(),
+            get("strand_spilled").to_string(),
+            get("strand_alloc").to_string(),
+            get("strand_reuse").to_string(),
+        ]);
+        let mut r = Record::new("strandcost-study", "strand-suspension");
+        r.input("workload", name)
+            .input("mode", mode.name())
+            .input("proc", w)
+            .input("n", n)
+            .input("depth", depth)
+            .input("stages", stages)
+            .input("width", width);
+        r.output("exectime", format!("{:.6}", elapsed.as_secs_f64()));
+        if *name == "await_chain" {
+            r.output("ops", await_chain_ops(depth));
+        }
+        for (key, value) in counters {
+            r.output(key, value);
+        }
+        rep.record(&r);
+        if !configs.is_empty() {
+            configs.push_str(",\n");
+        }
+        let kv: String = counters.iter().map(|(k, v)| format!(", \"{k}\": {v}")).collect();
+        configs.push_str(&format!(
+            "    {{\"workload\": \"{name}\", \"mode\": \"{}\", \"wall_s\": {:.6}{kv}}}",
+            mode.name(),
+            elapsed.as_secs_f64()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workers\": {w},\n  \"runs\": {},\n  \"telemetry\": {},\n  \"depth\": {depth},\n  \"configs\": [\n{configs}\n  ]\n}}\n",
+        opts.measure.runs,
+        obs::enabled()
+    );
+    let path = opts.outdir.join("strandcost.json");
+    std::fs::create_dir_all(&opts.outdir).expect("results dir");
+    std::fs::write(&path, json).expect("write strandcost.json");
     println!("# wrote {} and {}", rep.path().display(), path.display());
     if !obs::enabled() {
         println!("(telemetry compiled out — all counters read zero; wall clock still valid)");

@@ -70,7 +70,9 @@ pub use spdag;
 pub use incounter::{CounterFamily, DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
 pub use outset::{AddEdge, GrowthPolicy, MutexOutset, OutsetFamily, TreeOutset};
 pub use snzi::Probability;
-pub use spdag::{run_dag, Ctx, DagRunStats, FutureHandle, Scope};
+pub use spdag::{
+    run_dag, AsyncStrand, Ctx, DagRunStats, FutureHandle, Scope, Strand, StrandPoll, StrandTouch,
+};
 
 pub mod par;
 
@@ -83,7 +85,9 @@ pub mod prelude {
     pub use incounter::{FetchAdd, FixedConfig, FixedDepth};
     pub use obs::Snapshot;
     pub use outset::{MutexOutset, OutsetFamily, TreeOutset};
-    pub use spdag::{run_dag, FutureHandle};
+    pub use spdag::{
+        run_dag, strand_await, AsyncStrand, FutureHandle, Strand, StrandPoll, StrandTouch,
+    };
 }
 
 use std::sync::Arc;

@@ -33,11 +33,15 @@ pub enum EventKind {
     /// A swept slot block was poisoned and pushed into the recycler
     /// (`outset`); arg = blocks cached after the push.
     BlockRecycle = 11,
+    /// A strand parked itself on an unready future (`spdag`): its vertex
+    /// left the executor un-retired, awaiting the fulfill handshake; arg
+    /// = vertex id.
+    StrandPark = 12,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::Spawn,
         EventKind::Chain,
         EventKind::Steal,
@@ -49,6 +53,7 @@ impl EventKind {
         EventKind::FutureTouch,
         EventKind::FutureFulfill,
         EventKind::BlockRecycle,
+        EventKind::StrandPark,
     ];
 
     /// Stable display name (also the Chrome trace event name).
@@ -65,13 +70,14 @@ impl EventKind {
             EventKind::FutureTouch => "future_touch",
             EventKind::FutureFulfill => "future_fulfill",
             EventKind::BlockRecycle => "block_recycle",
+            EventKind::StrandPark => "strand_park",
         }
     }
 
     /// Subsystem the event belongs to (the Chrome trace category).
     pub fn category(self) -> &'static str {
         match self {
-            EventKind::Spawn | EventKind::Chain => "spdag",
+            EventKind::Spawn | EventKind::Chain | EventKind::StrandPark => "spdag",
             EventKind::Steal | EventKind::Park => "sched",
             EventKind::LaneSplit | EventKind::Seal | EventKind::Sweep | EventKind::BlockRecycle => {
                 "outset"

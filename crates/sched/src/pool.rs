@@ -64,6 +64,14 @@ pub struct PoolStats {
     pub steals: u64,
     /// Times a worker parked, summed over workers.
     pub parks: u64,
+    /// Strand suspensions: tasks that exited by parking on a dependency
+    /// instead of completing, reported via [`WorkerCtx::note_suspend`].
+    /// The task's frame stays live off-deque until its dependency
+    /// resolves; the worker moves straight on to other work.
+    pub suspends: u64,
+    /// Suspended strands re-entering execution
+    /// ([`WorkerCtx::note_resume`]); equals `suspends` at quiescence.
+    pub resumes: u64,
     /// Per-worker task counts (index = worker id).
     pub tasks_per_worker: Vec<u64>,
     /// Wakeup signals issued (one per `EventCount::notify` that found a
@@ -163,6 +171,8 @@ pub struct WorkerCtx<'a, T: Word> {
     tasks: Cell<u64>,
     steals: Cell<u64>,
     parks: Cell<u64>,
+    suspends: Cell<u64>,
+    resumes: Cell<u64>,
     /// This worker's private pseudo-random stream. Victim selection draws
     /// from it, and it is exposed ([`rng_u64`](WorkerCtx::rng_u64) /
     /// [`rng_below`](WorkerCtx::rng_below)) so workload and bench code
@@ -228,6 +238,21 @@ impl<'a, T: Word> WorkerCtx<'a, T> {
         if any {
             self.shared.sleep.notify();
         }
+    }
+
+    /// Record that the task being executed suspended itself (parked its
+    /// own frame on a dependency) instead of completing. The scheduler is
+    /// task-agnostic, so the interpreter reports suspensions; the pool
+    /// only tallies them ([`PoolStats::suspends`]). The worker itself
+    /// never blocks — it returns to its deque immediately.
+    pub fn note_suspend(&self) {
+        self.suspends.set(self.suspends.get() + 1);
+    }
+
+    /// Record that a previously suspended task frame re-entered execution
+    /// (the other half of [`note_suspend`](WorkerCtx::note_suspend)).
+    pub fn note_resume(&self) {
+        self.resumes.set(self.resumes.get() + 1);
     }
 
     /// Announce that the whole computation is complete (DoneFlag mode).
@@ -377,7 +402,7 @@ where
     };
     let f = &f;
     let shared_ref = &shared;
-    let stats: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+    let stats: Vec<(u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = deques
             .into_iter()
             .enumerate()
@@ -390,6 +415,8 @@ where
                         tasks: Cell::new(0),
                         steals: Cell::new(0),
                         parks: Cell::new(0),
+                        suspends: Cell::new(0),
+                        resumes: Cell::new(0),
                         rng: RefCell::new(VictimRng::new(0x853C_49E6_748F_EA9B ^ (id as u64 + 1))),
                     };
                     worker_loop(&ctx, f);
@@ -397,17 +424,25 @@ where
                     // caches: flushing here (not just at thread exit)
                     // makes post-run recycler gauges deterministic.
                     crate::slab::flush_this_thread();
-                    (ctx.tasks.get(), ctx.steals.get(), ctx.parks.get())
+                    (
+                        ctx.tasks.get(),
+                        ctx.steals.get(),
+                        ctx.parks.get(),
+                        ctx.suspends.get(),
+                        ctx.resumes.get(),
+                    )
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
     let mut out = PoolStats::default();
-    for &(t, s, p) in &stats {
+    for &(t, s, p, sus, res) in &stats {
         out.tasks += t;
         out.steals += s;
         out.parks += p;
+        out.suspends += sus;
+        out.resumes += res;
         out.tasks_per_worker.push(t);
     }
     out.wakeups = shared.sleep.wakes.load(Ordering::Relaxed);
@@ -417,6 +452,8 @@ where
     obs::counter!("sched.tasks").add(out.tasks);
     obs::counter!("sched.steals").add(out.steals);
     obs::counter!("sched.parks").add(out.parks);
+    obs::counter!("sched.suspends").add(out.suspends);
+    obs::counter!("sched.resumes").add(out.resumes);
     obs::counter!("sched.wakeups").add(out.wakeups);
     obs::counter!("sched.spurious_wakes").add(out.spurious_wakes);
     out

@@ -81,6 +81,21 @@ static POOLS: [SlabPool; 6] = [
 /// Debug poison stamped over dead slabs while they sit in a pool.
 pub const POISON: u64 = 0xDEAD_BEEF_DEAD_BEEF;
 
+/// Capture-size ceiling (bytes) for closures and strand state stored
+/// **inline** inside a pooled vertex instead of behind a pointer. This is
+/// the knob PR 5 hard-coded at 24 B; it lives here because it is really a
+/// property of the class ladder — it decides which ladder class a vertex
+/// lands in, not anything about dag semantics. 48 B keeps a suspended
+/// strand frame with up to 40 B of saved state (a few handles plus loop
+/// indices) inline — suspension then touches no memory outside the
+/// vertex's own slab — while still fitting `Vertex<DynSnzi>` comfortably
+/// inside the 256 B class.
+pub const INLINE_SLOT_BYTES: usize = 48;
+
+/// Alignment ceiling for inline slot storage (the in-vertex buffer is
+/// 8-aligned).
+pub const INLINE_SLOT_ALIGN: usize = 8;
+
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
 /// Whether objects allocated *now* will come from (and retire into) the

@@ -1,0 +1,295 @@
+//! Minimal bridge between runtime futures and `std::future::Future`.
+//!
+//! Two directions, both built on the strand park protocol
+//! ([`Ctx::touch_await`]'s count-2 handshake — see `docs/strands.md`):
+//!
+//! * **`async` code on the pool.** [`Ctx::fork_async`] /
+//!   [`Ctx::future_async`] wrap a compiled `async` block in an
+//!   [`AsyncStrand`] and schedule it like any strand. Inside it, awaiting
+//!   a [`FutureHandle`] parks the strand through the ordinary vertex
+//!   handshake: `FutureHandle::poll` publishes a *park request* into a
+//!   thread-local the strand's executor owns for the duration of the
+//!   poll, and [`AsyncStrand`] turns that request into an armed out-set
+//!   registration. No waker machinery runs on this path at all — the
+//!   in-counter **is** the waker.
+//! * **Runtime futures on a foreign executor.** Awaiting a
+//!   [`FutureHandle`] from an ordinary executor (no strand on the stack)
+//!   falls back to real wakers: the cloned waker is boxed and its
+//!   pointer — tagged with bit 0, which no ≥ 8-aligned vertex pointer
+//!   carries — registered as the out-set token. The completion sweep
+//!   recognizes the tag and calls `wake()` instead of the vertex
+//!   delivery.
+//!
+//! ## Pinning
+//!
+//! A strand frame's inline state is moved between resumptions (the
+//! executor takes the frame out of the vertex to run it), which is
+//! incompatible with self-referential compiled futures. [`AsyncStrand`]
+//! therefore pins its future behind a `Box` — the 8-byte `Pin<Box<F>>`
+//! itself inlines in the frame, while the state machine never moves.
+//!
+//! ## What may `.await` inside a strand
+//!
+//! Only leaves that ultimately poll a [`FutureHandle`] (plus any
+//! combinator over such leaves: joins, selects). A leaf future from some
+//! other reactor returning `Pending` without filing a park request would
+//! never be woken — the strand's poll hands out a no-op waker — so the
+//! bridge panics loudly instead of deadlocking silently. When several
+//! handles are in flight in one poll (a join), the *last* unready handle
+//! polled files the registration; every resumption thus awaits a future
+//! that is genuinely pending, and each completion re-polls the whole
+//! combinator, so progress is preserved.
+
+use std::cell::Cell;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+use incounter::CounterFamily;
+use outset::{AddEdge, OutsetFamily};
+
+use crate::dag::Ctx;
+use crate::futures::FutureHandle;
+use crate::vertex::{BodySlot, Strand, StrandPoll};
+
+/// Outcome of consuming a [`ParkRequest`]: either the registration stuck
+/// (the strand must park) or the future sealed first (re-poll — the value
+/// is ready now).
+enum RegisterOutcome {
+    Registered,
+    Bounced,
+}
+
+/// A pending request from [`FutureHandle::poll`] to the enclosing
+/// [`AsyncStrand`]: "register this strand's vertex on my out-set". Raw
+/// and `Copy` — the out-set pointer is only dereferenced by `register`
+/// within the same `resume` call, while the polled future (which owns a
+/// live handle, which keeps the core alive) still sits un-dropped in the
+/// strand's state machine.
+#[derive(Clone, Copy)]
+struct ParkRequest {
+    /// `*const O::Outset`, type-erased; paired with the matching
+    /// monomorphized `register` thunk.
+    outset: *const (),
+    register: unsafe fn(*const (), u64, u64) -> RegisterOutcome,
+}
+
+unsafe fn register_thunk<O: OutsetFamily>(
+    outset: *const (),
+    token: u64,
+    key: u64,
+) -> RegisterOutcome {
+    // SAFETY: `outset` was erased from `&O::Outset` by the matching
+    // `FutureHandle<_, O>::poll` and is still alive (see ParkRequest).
+    let outset = unsafe { &*(outset as *const O::Outset) };
+    match O::add(outset, token, key) {
+        AddEdge::Registered => RegisterOutcome::Registered,
+        AddEdge::Finished(_) => RegisterOutcome::Bounced,
+    }
+}
+
+/// What the current thread's innermost poll context is.
+#[derive(Clone, Copy)]
+enum BridgeState {
+    /// Not inside a strand resumption: handle polls go through real
+    /// (boxed, tagged) wakers.
+    Inactive,
+    /// Inside [`AsyncStrand::resume`], no park requested yet.
+    Active,
+    /// A polled [`FutureHandle`] was unready and asks the strand to park.
+    Requested(ParkRequest),
+}
+
+thread_local! {
+    static BRIDGE: Cell<BridgeState> = const { Cell::new(BridgeState::Inactive) };
+}
+
+fn noop_raw_waker() -> RawWaker {
+    fn clone(_: *const ()) -> RawWaker {
+        noop_raw_waker()
+    }
+    fn wake(_: *const ()) {}
+    fn wake_by_ref(_: *const ()) {}
+    fn drop_waker(_: *const ()) {}
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+    RawWaker::new(std::ptr::null(), &VTABLE)
+}
+
+/// A compiled `async` state machine adapted to the [`Strand`] protocol.
+/// Built by [`Ctx::fork_async`] / [`Ctx::future_async`]; also usable
+/// directly with [`Ctx::fork_strand`] / [`Ctx::future_strand`].
+pub struct AsyncStrand<F> {
+    /// Boxed so the state machine has a stable address across
+    /// resumptions (strand frames move their inline bytes; see module
+    /// docs). The 8-byte pin itself is what lives in the frame.
+    fut: Pin<Box<F>>,
+}
+
+impl<F> AsyncStrand<F> {
+    /// Wrap a future for execution as a strand.
+    pub fn new(fut: F) -> AsyncStrand<F> {
+        AsyncStrand { fut: Box::pin(fut) }
+    }
+}
+
+impl<C, F> Strand<C, F::Output> for AsyncStrand<F>
+where
+    C: CounterFamily,
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    fn resume(&mut self, ctx: &mut Ctx<'_, C>) -> StrandPoll<F::Output> {
+        loop {
+            // SAFETY: the no-op vtable upholds every RawWaker contract
+            // trivially.
+            let waker = unsafe { Waker::from_raw(noop_raw_waker()) };
+            let mut cx = Context::from_waker(&waker);
+            // Save/restore rather than set/clear so a body that drives a
+            // nested dag (and strands within it) unwinds correctly.
+            let prev = BRIDGE.with(|b| b.replace(BridgeState::Active));
+            let polled = self.fut.as_mut().poll(&mut cx);
+            let state = BRIDGE.with(|b| b.replace(prev));
+            match polled {
+                // A leftover Requested state is fine here: the request
+                // was never registered, so dropping it arms nothing.
+                Poll::Ready(value) => return StrandPoll::Done(value),
+                Poll::Pending => match state {
+                    BridgeState::Requested(req) => {
+                        let token = ctx.arm_park();
+                        let key = ctx.worker_id() as u64;
+                        // SAFETY: the request was filed during the poll
+                        // just above; its out-set is still alive (see
+                        // ParkRequest) and the thunk matches it.
+                        match unsafe { (req.register)(req.outset, token, key) } {
+                            RegisterOutcome::Registered => return StrandPoll::Parked,
+                            RegisterOutcome::Bounced => {
+                                // Sealed in the gap between poll and
+                                // registration: the value is ready —
+                                // disarm and re-poll immediately.
+                                ctx.disarm_park();
+                                continue;
+                            }
+                        }
+                    }
+                    _ => panic!(
+                        "a future returned Pending inside a strand without awaiting a \
+                         runtime FutureHandle; only runtime futures (or combinators over \
+                         them) can suspend a strand"
+                    ),
+                },
+            }
+        }
+    }
+}
+
+impl<T, O> Future for FutureHandle<T, O>
+where
+    T: Clone + Send + Sync + 'static,
+    O: OutsetFamily,
+{
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        if let Some(value) = self.try_get() {
+            return Poll::Ready(value.clone());
+        }
+        let in_strand =
+            BRIDGE.with(|b| matches!(b.get(), BridgeState::Active | BridgeState::Requested(_)));
+        if in_strand {
+            // File a park request for the enclosing AsyncStrand; it arms
+            // the vertex and performs the registration after the poll
+            // unwinds (a later unready handle in the same poll replaces
+            // this request — see the module docs on combinators).
+            BRIDGE.with(|b| {
+                b.set(BridgeState::Requested(ParkRequest {
+                    outset: self.outset() as *const O::Outset as *const (),
+                    register: register_thunk::<O>,
+                }))
+            });
+            return Poll::Pending;
+        }
+        // Foreign executor: box the real waker and register it, tagged
+        // with bit 0 so the completion sweep wakes instead of delivering
+        // a vertex. Each poll-while-pending registers one waker; the
+        // sweep consumes them all.
+        let raw = Box::into_raw(Box::new(cx.waker().clone()));
+        debug_assert_eq!(raw as usize & 1, 0, "boxed waker must be aligned");
+        let token = raw as usize as u64 | 1;
+        match O::add(self.outset(), token, token) {
+            AddEdge::Registered => Poll::Pending,
+            AddEdge::Finished(t) => {
+                debug_assert_eq!(t, token);
+                // Sealed first: reclaim the box, deliver inline.
+                // SAFETY: the bounce returns exclusive ownership of the
+                // token we just minted.
+                drop(unsafe { Box::from_raw(raw) });
+                let value =
+                    self.try_get().expect("bounced registration implies completion").clone();
+                Poll::Ready(value)
+            }
+        }
+    }
+}
+
+impl<'a, C: CounterFamily> Ctx<'a, C> {
+    /// [`fork`](Ctx::fork) an `async` block onto the pool: the enclosing
+    /// finish scope waits for it, and `.await`ing a [`FutureHandle`]
+    /// inside parks the strand (never the worker).
+    pub fn fork_async<F>(&mut self, fut: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        self.fork_slot(BodySlot::from_strand(AsyncStrand::new(fut)));
+    }
+
+    /// [`future_strand`](Ctx::future_strand) over an `async` block: the
+    /// block's output becomes the future's value, so `async` stages
+    /// compose with CPS stages and [`touch_await`](Ctx::touch_await)ing
+    /// strands freely. See `examples/async_fib.rs`.
+    pub fn future_async<T, F>(&mut self, fut: F) -> FutureHandle<T>
+    where
+        T: Send + Sync + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        self.future_strand(AsyncStrand::new(fut))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_dag;
+    use incounter::{DynConfig, DynSnzi};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fork_async_awaits_runtime_future() {
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+            let f = ctx.future(|_| 21u64);
+            let o = Arc::clone(&o);
+            ctx.fork_async(async move {
+                let v = f.await;
+                o.store(v * 2, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 42);
+    }
+
+    #[test]
+    fn future_async_chains_awaits() {
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+            let a = ctx.future(|_| 5u64);
+            let b = ctx.future_async(async move { a.await + 1 });
+            let c = ctx.future_async(async move { b.await * 7 });
+            let o = Arc::clone(&o);
+            ctx.fork_async(async move {
+                o.store(c.await, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 42);
+    }
+}

@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use incounter::{CounterFamily, DecPair};
 use sched::{PoolArc, PoolStats, Termination, WorkerCtx};
 
-use crate::vertex::{Body, BodySlot, Vertex, VertexPtr};
+use crate::vertex::{Body, BodySlot, Strand, StrandPoll, TakenBody, Vertex, VertexPtr};
 
 /// Per-body execution context: the running vertex plus scheduler access.
 ///
@@ -60,6 +60,28 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
 
     pub(crate) fn vertex_ref(&self) -> &Vertex<C> {
         self.vertex
+    }
+
+    /// Arm the count-2 park handshake on the running vertex (the
+    /// [`touch_await`](Ctx::touch_await) protocol, exposed to the async
+    /// bridge which registers the token itself). Returns the out-set
+    /// registration token: the vertex address.
+    pub(crate) fn arm_park(&mut self) -> u64 {
+        let cfg = self.cfg;
+        let u = self.vertex_mut();
+        debug_assert!(!u.park_pending, "park armed twice in one resumption");
+        u.counter = Some(C::make(cfg, 2));
+        u.park_pending = true;
+        u as *mut Vertex<C> as usize as u64
+    }
+
+    /// Undo [`arm_park`](Ctx::arm_park) after a bounced registration (the
+    /// future sealed first — no fulfiller decrement will ever come).
+    pub(crate) fn disarm_park(&mut self) {
+        let u = self.vertex_mut();
+        debug_assert!(u.park_pending, "disarm without a pending park");
+        u.counter = None;
+        u.park_pending = false;
     }
 
     pub(crate) fn vertex_mut(&mut self) -> &mut Vertex<C> {
@@ -128,6 +150,36 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         self.chain_slots(BodySlot::from_boxed(first), BodySlot::from_boxed(then));
     }
 
+    /// `async body` into the enclosing finish scope without consuming the
+    /// context (the [`Scope`](crate::Scope) fork, available directly):
+    /// the task may run in parallel with the rest of this body, and the
+    /// enclosing finish waits for it. Strand bodies use this to fan out
+    /// mid-resumption — a strand only ever holds `&mut Ctx`, so the
+    /// consuming [`spawn`](Ctx::spawn)/[`chain`](Ctx::chain) are off
+    /// limits to it by construction.
+    pub fn fork(&mut self, body: impl for<'b> FnOnce(Ctx<'b, C>) + Send + 'static) {
+        self.fork_slot(BodySlot::from_closure(body));
+    }
+
+    /// [`fork`](Ctx::fork) a *resumable strand*: the child may
+    /// [`touch_await`](Ctx::touch_await) futures mid-body, parking itself
+    /// (never its worker) until they fulfill.
+    pub fn fork_strand<S: Strand<C>>(&mut self, strand: S) {
+        self.fork_slot(BodySlot::from_strand(strand));
+    }
+
+    pub(crate) fn fork_slot(&mut self, body: BodySlot<C>) {
+        let (cfg, worker) = (self.cfg, self.worker);
+        let u = self.vertex_mut();
+        // One increment, then rotate this vertex onto the right-hand
+        // handles (Vertex::fork_rotate); the forked task is the left
+        // child, ready immediately.
+        let fin = u.fin;
+        let (i1, pair) = u.fork_rotate(cfg);
+        let v = Vertex::alloc(cfg, 0, i1, pair, fin, true, body);
+        worker.push(VertexPtr(v));
+    }
+
     fn chain_slots(self, first: BodySlot<C>, then: BodySlot<C>) {
         let u = self.vertex;
         obs::counter!("spdag.chains").inc();
@@ -187,7 +239,8 @@ impl<C: CounterFamily> Drop for OwnedVertex<C> {
 }
 
 /// Execute one vertex: run its body, then — unless the body ended with a
-/// spawn/chain — signal the finish vertex (the paper's `signal`).
+/// spawn/chain, or parked itself on a future — signal the finish vertex
+/// (the paper's `signal`).
 fn execute_vertex<C: CounterFamily>(
     cfg: &C::Config,
     worker: &WorkerCtx<'_, VertexPtr<C>>,
@@ -197,8 +250,69 @@ fn execute_vertex<C: CounterFamily>(
     // guard takes back the ownership that `spawn`/`chain`/`run_dag`
     // leaked and retires the vertex when it drops.
     let mut v = OwnedVertex(ptr.0);
-    if let Some(body) = v.body.take() {
-        body.run(Ctx { vertex: &mut v, worker, cfg });
+    if v.park_pending {
+        // This schedule is a *resumption*: a previous executor parked the
+        // strand on a future's out-set and the fulfill handshake zeroed
+        // the vertex's park counter. The flag survived the park precisely
+        // so this entry check can tell resumptions from first runs.
+        v.park_pending = false;
+        worker.note_resume();
+        obs::counter!("spdag.strand_resume").inc();
+    }
+    match v.body.take() {
+        None => {}
+        Some(TakenBody::Boxed(body)) => body(Ctx { vertex: &mut v, worker, cfg }),
+        Some(TakenBody::Inline(body)) => body.invoke(Ctx { vertex: &mut v, worker, cfg }),
+        Some(TakenBody::Strand(mut frame)) => {
+            let poll = {
+                let mut ctx = Ctx { vertex: &mut v, worker, cfg };
+                frame.resume(&mut ctx)
+            };
+            match poll {
+                StrandPoll::Done(()) => {
+                    if v.park_pending {
+                        // touch_await registered this vertex on an
+                        // out-set, yet the strand claimed completion. The
+                        // registration will fire into whatever the slab
+                        // becomes; retiring would be a use-after-free in
+                        // waiting, so leak the vertex and fail loudly.
+                        std::mem::forget(v);
+                        panic!("strand returned Done after a touch_await parked it");
+                    }
+                    // Frame drops here; fall through to the signal
+                    // epilogue like any completed body.
+                }
+                StrandPoll::Parked => {
+                    assert!(
+                        v.park_pending,
+                        "strand returned Parked without a parked touch_await \
+                         (nothing would ever resume it)"
+                    );
+                    // Commit the park. The frame goes back into the
+                    // vertex, then we release our half of the count-2
+                    // handshake touch_await armed: one decrement belongs
+                    // to the fulfiller's sweep, one to us, and whoever
+                    // lands second zeroes the counter and reschedules
+                    // the vertex. Decrement-last makes every field write
+                    // above it visible to the resuming executor through
+                    // the counter's release/acquire edge — after our
+                    // decrement we own nothing.
+                    v.body = BodySlot::Strand(frame);
+                    worker.note_suspend();
+                    obs::counter!("spdag.strand_suspend").inc();
+                    obs::trace::record(obs::EventKind::StrandPark, v.0 as u64);
+                    let vp = v.0;
+                    std::mem::forget(v); // ownership parks with the vertex
+                                         // SAFETY: touch_await installed the count-2 counter
+                                         // and registered exactly one out-set waker; this is
+                                         // the executor's single matching decrement.
+                    if unsafe { crate::futures::resolve_dependent::<C>(vp) } {
+                        worker.push(VertexPtr(vp));
+                    }
+                    return;
+                }
+            }
+        }
     }
     if v.dead {
         return; // continuation took over this vertex's obligations

@@ -93,7 +93,26 @@ use outset::{AddEdge, OutsetFamily, TreeOutset};
 use sched::PoolArc;
 
 use crate::dag::Ctx;
-use crate::vertex::{BodySlot, Vertex, VertexPtr};
+use crate::vertex::{BodySlot, Strand, StrandPoll, Vertex, VertexPtr};
+
+/// Result of [`Ctx::touch_await`]: the blocking-style dual of
+/// [`Ctx::touch`]'s continuation passing.
+///
+/// `Ready` hands the value back immediately (the future had completed, or
+/// completed concurrently and bounced the registration). `Parked` means
+/// the calling strand was registered on the future's out-set — the strand
+/// **must** propagate [`StrandPoll::Parked`] out of its current
+/// resumption without performing further dag operations; the executor
+/// asserts this. The [`strand_await!`](crate::strand_await) macro wraps
+/// the obligatory match.
+#[must_use = "a Parked touch obliges the strand to return StrandPoll::Parked"]
+pub enum StrandTouch<'f, T> {
+    /// The future has completed; its value, borrowed from the handle.
+    Ready(&'f T),
+    /// Unready: the strand is now registered for resumption and must
+    /// park.
+    Parked,
+}
 
 /// Shared state of one future: its completion out-set and value cell.
 struct FutureCore<T, O: OutsetFamily> {
@@ -163,6 +182,36 @@ impl<T: Send + Sync, O: OutsetFamily> ValueSetter<T, O> {
         // strand of the future's own subtree — ordered before every read
         // via the completion protocol (see FutureCore).
         unsafe { *self.core.value.get() = Some(value) };
+    }
+}
+
+/// Adapts a value-producing strand (`Strand<C, T>`) to the unit-valued
+/// strand a vertex body runs: `Done(v)` publishes `v` through the
+/// future's one-shot setter. Parks pass through untouched — the adapter
+/// adds no state beyond the 8-byte setter, so a small user strand still
+/// rides inline in its vertex.
+struct ValueStrandAdapter<S, T, O: OutsetFamily> {
+    strand: S,
+    /// `Some` until the strand completes; `take` preserves the setter's
+    /// single-write guarantee across resumptions.
+    setter: Option<ValueSetter<T, O>>,
+}
+
+impl<C, S, T, O> Strand<C> for ValueStrandAdapter<S, T, O>
+where
+    C: CounterFamily,
+    S: Strand<C, T>,
+    T: Send + Sync + 'static,
+    O: OutsetFamily,
+{
+    fn resume(&mut self, ctx: &mut Ctx<'_, C>) -> StrandPoll {
+        match self.strand.resume(ctx) {
+            StrandPoll::Done(value) => {
+                self.setter.take().expect("strand resumed after completion").set(value);
+                StrandPoll::Done(())
+            }
+            StrandPoll::Parked => StrandPoll::Parked,
+        }
     }
 }
 
@@ -314,6 +363,23 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         T: Send + Sync + 'static,
         F: for<'b> FnOnce(Ctx<'b, C>, ValueSetter<T, O>) + Send + 'static,
     {
+        self.future_slot(fanout_hint, move |setter| {
+            BodySlot::from_closure(move |c: Ctx<'_, C>| body(c, setter))
+        })
+    }
+
+    /// The wiring beneath every future constructor: build the shared
+    /// core, join the enclosing finish scope, allocate the completion
+    /// (sweep) vertex and the body vertex. `build` turns the one-shot
+    /// value setter into the body's `BodySlot` — a plain closure for
+    /// [`future_raw`](Ctx::future_in), a resumable strand frame for
+    /// [`future_strand`](Ctx::future_strand).
+    fn future_slot<O, T, G>(&mut self, fanout_hint: usize, build: G) -> FutureHandle<T, O>
+    where
+        O: OutsetFamily,
+        T: Send + Sync + 'static,
+        G: FnOnce(ValueSetter<T, O>) -> BodySlot<C>,
+    {
         let core = PoolArc::new(FutureCore::<T, O> {
             outset: O::make_hinted(fanout_hint),
             value: UnsafeCell::new(None),
@@ -340,10 +406,21 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
             sweep_core.completed.store(true, Ordering::SeqCst);
             let mut ready: Vec<VertexPtr<C>> = Vec::new();
             O::finish(&sweep_core.outset, &mut |token| {
+                if token & 1 == 1 {
+                    // A foreign-executor waker from the async bridge
+                    // (vertex tokens are ≥ 8-aligned pointers, so bit 0
+                    // distinguishes). SAFETY: tagged tokens are minted
+                    // exclusively by `async_bridge` from Box::into_raw,
+                    // one delivery each.
+                    let waker =
+                        unsafe { Box::from_raw((token & !1) as usize as *mut std::task::Waker) };
+                    waker.wake();
+                    return;
+                }
                 let w = token as usize as *mut Vertex<C>;
-                // SAFETY: the token is a waiting vertex leaked by `touch`,
-                // scheduled by nobody else; resolving its single
-                // dependency is this sweep's exclusive job.
+                // SAFETY: the token is a waiting vertex leaked by `touch`
+                // or parked by `touch_await`, scheduled by nobody else;
+                // this sweep holds its fulfiller delivery right.
                 if unsafe { resolve_dependent::<C>(w) } {
                     ready.push(VertexPtr(w));
                 }
@@ -368,7 +445,7 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         // Box<dyn FnOnce> built at run time), so the body wrapper's
         // capture is the user closure plus one word.
         let setter = ValueSetter { core: core.clone() };
-        let body = BodySlot::from_closure(move |c: Ctx<'_, C>| body(c, setter));
+        let body = build(setter);
         let fv = Vertex::alloc(
             cfg,
             0,
@@ -579,21 +656,117 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
             }
         }
     }
+
+    /// Blocking-style touch for [strands](crate::Strand): the value if
+    /// the future is ready, else the calling strand is parked — the
+    /// *strand*, never its worker, which returns to its deque as soon as
+    /// the strand's resumption unwinds.
+    ///
+    /// On [`StrandTouch::Parked`] the strand must immediately return
+    /// [`StrandPoll::Parked`]; when the future fulfills, the strand is
+    /// rescheduled and re-enters from the top, where this same call now
+    /// takes the ready fast path. Only strand bodies
+    /// ([`Ctx::fork_strand`], [`Ctx::future_strand`]) may park; a parked
+    /// touch from a one-shot body is a programming error the executor
+    /// turns into a panic.
+    ///
+    /// ## Exactly-once resumption under fulfill ∥ suspend
+    ///
+    /// An unready touch arms the running vertex with a fresh count-**2**
+    /// in-counter *before* registering it on the future's out-set. One
+    /// decrement belongs to the fulfiller (sweep or bounce delivery), one
+    /// to this vertex's executor after the strand's state is safely
+    /// reinstalled — so whichever side finishes second finds zero and
+    /// reschedules the vertex, exactly once, and the loser's earlier
+    /// decrement has already published its writes through the counter's
+    /// release/acquire edge. A bounced registration
+    /// ([`outset::AddEdge::Finished`]) means no waker was stored: the
+    /// handshake is disarmed and the value returned inline.
+    pub fn touch_await<'f, T, O>(&mut self, future: &'f FutureHandle<T, O>) -> StrandTouch<'f, T>
+    where
+        T: Send + Sync + 'static,
+        O: OutsetFamily,
+    {
+        assert!(
+            !self.vertex.park_pending,
+            "touch_await after a Parked touch in the same resumption \
+             (the strand must return StrandPoll::Parked first)"
+        );
+        if future.is_done() {
+            // SAFETY: observing `completed` orders this read after the
+            // value write (see FutureCore).
+            return StrandTouch::Ready(unsafe { future.core.value_ref() });
+        }
+        obs::counter!("spdag.touch_awaits").inc();
+        // Arm before registering: the count-2 counter must be in place
+        // before the sweep can possibly deliver. Overwriting the vertex's
+        // `counter` is sound — an executing vertex's own counter is never
+        // referenced by others (it is nobody's `fin` while it runs), and
+        // a previous park's spent counter drops there.
+        let token = self.arm_park();
+        obs::trace::record(obs::EventKind::FutureTouch, token);
+        match O::add(&future.core.outset, token, self.worker.worker_id() as u64) {
+            AddEdge::Registered => StrandTouch::Parked,
+            AddEdge::Finished(t) => {
+                debug_assert_eq!(t, token);
+                // The future sealed first: no waker was stored, so no
+                // fulfiller decrement will ever come — disarm the
+                // handshake and deliver inline. The seal's release chain
+                // guarantees `completed` is visible.
+                self.disarm_park();
+                // SAFETY: the bounce orders this read after the value
+                // write, as in `touch`'s Finished arm.
+                StrandTouch::Ready(unsafe { future.core.value_ref() })
+            }
+        }
+    }
+
+    /// Create a future whose body is a resumable [`Strand`] producing the
+    /// value: the strand may [`touch_await`](Ctx::touch_await) other
+    /// futures mid-body, parking itself until they fulfill. `Done(v)`
+    /// publishes `v` exactly as a [`future`](Ctx::future) closure's
+    /// return value would.
+    pub fn future_strand<T, S>(&mut self, strand: S) -> FutureHandle<T, TreeOutset>
+    where
+        T: Send + Sync + 'static,
+        S: Strand<C, T>,
+    {
+        self.future_strand_in::<TreeOutset, T, S>(strand)
+    }
+
+    /// [`future_strand`](Ctx::future_strand) with an explicit out-set
+    /// family.
+    pub fn future_strand_in<O, T, S>(&mut self, strand: S) -> FutureHandle<T, O>
+    where
+        O: OutsetFamily,
+        T: Send + Sync + 'static,
+        S: Strand<C, T>,
+    {
+        self.future_slot(1, move |setter| {
+            BodySlot::from_strand(ValueStrandAdapter { strand, setter: Some(setter) })
+        })
+    }
 }
 
-/// Drop the dependent's single future-dependency; `true` when that made
-/// it ready (always, today — dependents wait on exactly one future).
+/// Drop one unit of the dependent's future-dependency surplus; `true`
+/// when that zeroed the counter and the caller must schedule the vertex.
+/// Two kinds of dependent flow through here: `touch` continuations
+/// (count 1, one sweep/bounce delivery) and parked strands (count 2 —
+/// the fulfiller's delivery plus the parking executor's own release in
+/// `execute_vertex`, in either order).
 ///
 /// # Safety
-/// `w` must be a waiting vertex created by `touch`, not yet scheduled,
-/// and the caller must hold its exclusive delivery right (sweep or
-/// bounce).
-unsafe fn resolve_dependent<C: CounterFamily>(w: *mut Vertex<C>) -> bool {
-    // SAFETY: `w` is alive (leaked, unscheduled) per the caller contract.
+/// `w` must be a waiting vertex (a `touch` continuation or a parked
+/// strand), not scheduled, and the caller must hold one — exactly one —
+/// of its pending delivery rights.
+pub(crate) unsafe fn resolve_dependent<C: CounterFamily>(w: *mut Vertex<C>) -> bool {
+    // SAFETY: `w` is alive (leaked, unscheduled) per the caller contract;
+    // `counter` is the only field touched, and counters are Sync — the
+    // parking executor may still be unwinding other fields concurrently.
     let wref = unsafe { &*w };
     let counter = wref.counter_ref();
-    // SAFETY: the root decrement handle matches the counter's initial
-    // surplus of 1, consumed exactly once by this exclusive delivery.
+    // SAFETY: each root decrement handle consumes one unit of the
+    // counter's initial surplus, once per delivery right.
     unsafe { C::decrement(counter, C::root_dec(counter)) }
 }
 

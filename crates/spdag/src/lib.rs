@@ -48,15 +48,63 @@
 //! assert_eq!(hits.load(Ordering::Relaxed), 2);
 //! ```
 
+//! ## Strands: suspension without blocking
+//!
+//! One-shot bodies await futures by continuation passing
+//! ([`Ctx::touch`]). *Strands* ([`Strand`], scheduled with
+//! [`Ctx::fork_strand`] / [`Ctx::future_strand`]) are resumable bodies
+//! that may instead call [`Ctx::touch_await`] mid-body: if the future is
+//! unready the strand parks **itself** — its frame stays in its vertex,
+//! its worker goes straight back to the deque — and is rescheduled when
+//! the future fulfills. `docs/strands.md` walks through the frame layout
+//! and the exactly-once resumption protocol; the [`async_bridge`] module
+//! builds `std::future::Future` support on top.
+
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod async_bridge;
 pub mod dag;
 pub mod futures;
 pub mod scope;
 pub mod vertex;
 
+pub use async_bridge::AsyncStrand;
 pub use dag::{run_dag, run_dag_timed, Ctx, DagRunStats};
-pub use futures::FutureHandle;
+pub use futures::{FutureHandle, StrandTouch};
 pub use scope::Scope;
-pub use vertex::Vertex;
+pub use vertex::{Strand, StrandPoll, Vertex};
+
+/// Await a future inside a [`Strand`] body: evaluates to `&T` when the
+/// future is ready, otherwise returns [`StrandPoll::Parked`] from the
+/// enclosing `resume`/closure (the obligatory protocol after a parked
+/// [`Ctx::touch_await`]).
+///
+/// ```
+/// use incounter::{DynConfig, DynSnzi};
+/// use spdag::{run_dag, strand_await, StrandPoll};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let out = Arc::new(AtomicU64::new(0));
+/// let o = Arc::clone(&out);
+/// run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+///     let f = ctx.future(|_| 21u64);
+///     let o = Arc::clone(&o);
+///     ctx.fork_strand(move |c: &mut spdag::Ctx<'_, DynSnzi>| {
+///         let v = *strand_await!(c, &f);
+///         o.store(v * 2, Ordering::Relaxed);
+///         StrandPoll::Done(())
+///     });
+/// });
+/// assert_eq!(out.load(Ordering::Relaxed), 42);
+/// ```
+#[macro_export]
+macro_rules! strand_await {
+    ($ctx:expr, $future:expr) => {
+        match $ctx.touch_await($future) {
+            $crate::StrandTouch::Ready(value) => value,
+            $crate::StrandTouch::Parked => return $crate::StrandPoll::Parked,
+        }
+    };
+}

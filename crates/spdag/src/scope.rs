@@ -40,7 +40,7 @@
 use incounter::CounterFamily;
 
 use crate::dag::Ctx;
-use crate::vertex::{Body, BodySlot, Vertex, VertexPtr};
+use crate::vertex::{Body, BodySlot};
 
 /// A multi-async view of the running vertex (see module docs).
 ///
@@ -75,16 +75,17 @@ impl<'a, C: CounterFamily> Scope<'a, C> {
         self.fork_slot(BodySlot::from_boxed(body));
     }
 
+    /// [`fork`](Scope::fork) a resumable [`Strand`](crate::Strand):
+    /// the task may park on [`Ctx::touch_await`] and the finish scope
+    /// still waits for its eventual completion.
+    pub fn fork_strand<S: crate::Strand<C>>(&mut self, strand: S) {
+        self.fork_slot(BodySlot::from_strand(strand));
+    }
+
     fn fork_slot(&mut self, body: BodySlot<C>) {
-        let (cfg, worker) = (self.ctx.cfg, self.ctx.worker);
-        let u = self.ctx.vertex_mut();
-        // One increment, then rotate this vertex onto the right-hand
-        // handles (Vertex::fork_rotate); the forked task is the left
-        // child, ready immediately.
-        let fin = u.fin;
-        let (i1, pair) = u.fork_rotate(cfg);
-        let v = Vertex::alloc(cfg, 0, i1, pair, fin, true, body);
-        worker.push(VertexPtr(v));
+        // The fork step itself lives on Ctx since strands (which hold
+        // `&mut Ctx`, never a Scope) fork through the same path.
+        self.ctx.fork_slot(body);
     }
 
     /// Number of forks performed through this scope so far.

@@ -64,13 +64,15 @@ use crate::dag::Ctx;
 /// A vertex body: run exactly once with the executing worker's context.
 pub type Body<C> = Box<dyn for<'a> FnOnce(Ctx<'a, C>) + Send + 'static>;
 
-/// Capture-size ceiling (bytes) for bodies stored inline in the vertex.
-/// Three words covers the dominant capture shapes in `examples/` and
-/// `bench/workloads.rs` (an `Arc` or two plus a scalar).
-pub(crate) const INLINE_BODY_BYTES: usize = 24;
+/// Capture-size ceiling (bytes) for bodies and strand state stored inline
+/// in the vertex. PR 5 hard-coded 24 B here; the knob now lives in
+/// [`sched::recycle`] next to the class ladder it really belongs to, and
+/// is sized so a suspended strand frame with up to 40 B of saved state
+/// (a couple of future handles plus loop indices) still inlines.
+pub(crate) const INLINE_BODY_BYTES: usize = sched::recycle::INLINE_SLOT_BYTES;
 
 /// Alignment ceiling for inline bodies (the buffer is 8-aligned).
-pub(crate) const INLINE_BODY_ALIGN: usize = 8;
+pub(crate) const INLINE_BODY_ALIGN: usize = sched::recycle::INLINE_SLOT_ALIGN;
 
 #[repr(align(8))]
 struct InlineBuf([MaybeUninit<u8>; INLINE_BODY_BYTES]);
@@ -102,7 +104,7 @@ impl<C: CounterFamily> InlineBody<C> {
     /// Run the closure, consuming it. The capture is read out of the
     /// buffer by value inside the monomorphized thunk; `ManuallyDrop`
     /// suppresses our `Drop` so the capture is consumed exactly once.
-    fn invoke(self, ctx: Ctx<'_, C>) {
+    pub(crate) fn invoke(self, ctx: Ctx<'_, C>) {
         let mut this = ManuallyDrop::new(self);
         let buf = this.buf.0.as_mut_ptr() as *mut u8;
         // SAFETY: the buffer holds a live F (written in `new`, not yet
@@ -135,12 +137,184 @@ unsafe fn drop_inline<F>(buf: *mut u8) {
     unsafe { std::ptr::drop_in_place(buf as *mut F) }
 }
 
+/// Result of one [`Strand`] resumption: the strand either ran to its end
+/// (producing `T`; `()` for plain strands) or parked itself on the future
+/// it last [`touch_await`](Ctx::touch_await)ed.
+pub enum StrandPoll<T = ()> {
+    /// The strand completed; the vertex signals its scope as usual.
+    Done(T),
+    /// The strand is waiting on a future. Its frame stays live inside the
+    /// vertex; the worker returns to its deque immediately. A strand may
+    /// return `Parked` **only** after a `touch_await` in the same
+    /// resumption returned [`StrandTouch::Parked`](crate::StrandTouch)
+    /// (the executor asserts this — an unregistered park could never be
+    /// woken).
+    Parked,
+}
+
+/// A resumable strand body: `resume` is invoked when the vertex is first
+/// scheduled and once more after each suspension, until it returns
+/// [`StrandPoll::Done`].
+///
+/// Unlike one-shot bodies (which receive `Ctx` by value and end the
+/// vertex with a consuming operation like [`Ctx::spawn`]), a strand gets
+/// `&mut Ctx` — it can [`fork`](Ctx::fork), create futures, and
+/// [`touch_await`](Ctx::touch_await), but cannot consume the vertex. Any
+/// `FnMut(&mut Ctx<C>) -> StrandPoll<T>` closure is a strand: each
+/// resumption re-enters the closure from the top, with state carried in
+/// the captures (completed awaits hit the ready fast path on re-entry,
+/// so re-running the prefix is cheap).
+pub trait Strand<C: CounterFamily, T = ()>: Send + 'static {
+    /// Run until completion or the next suspension point.
+    fn resume(&mut self, ctx: &mut Ctx<'_, C>) -> StrandPoll<T>;
+}
+
+impl<C, T, F> Strand<C, T> for F
+where
+    C: CounterFamily,
+    F: for<'a, 'b> FnMut(&'a mut Ctx<'b, C>) -> StrandPoll<T> + Send + 'static,
+{
+    fn resume(&mut self, ctx: &mut Ctx<'_, C>) -> StrandPoll<T> {
+        self(ctx)
+    }
+}
+
+/// Storage tag: strand state held inline in the frame's buffer.
+const FRAME_INLINE: u8 = u8::MAX - 1;
+
+/// A resumable strand frame: the generalization of the one-shot inline
+/// body to a state machine that survives suspension. The frame owns the
+/// strand's saved state — inline in the vertex (≤
+/// [`sched::recycle::INLINE_SLOT_BYTES`]) or spilled onto the scheduler's
+/// class ladder — plus monomorphized resume/drop thunks. Between
+/// [`resume`](StrandFrame::resume) calls the frame sits in the vertex's
+/// `BodySlot` (state `Ready` before first schedule, `Suspended` while
+/// parked); the executor moves it out to run it (detaching the `&mut`
+/// borrow from the vertex) and moves it back on
+/// [`StrandPoll::Parked`].
+///
+/// Spilled state lives at a stable address — only the 8-byte pointer
+/// travels with the frame — so large strand state is never memcpy'd by
+/// the move-out/move-back dance. Inline state *is* moved between
+/// resumptions, which is fine for ordinary Rust types; the async bridge,
+/// whose compiled futures must never move once polled, pins its state
+/// behind a box (see `async_bridge`).
+pub(crate) struct StrandFrame<C: CounterFamily> {
+    /// The state itself (inline) or the pointer to it (spilled).
+    buf: InlineBuf,
+    /// [`FRAME_INLINE`], a recycle class, or
+    /// [`sched::recycle::UNPOOLED`] (plain-allocator spill; `drop_fn`
+    /// frees the memory too).
+    storage: u8,
+    resume_fn: for<'a, 'b> unsafe fn(*mut u8, &'a mut Ctx<'b, C>) -> StrandPoll,
+    drop_fn: unsafe fn(*mut u8),
+}
+
+impl<C: CounterFamily> StrandFrame<C> {
+    pub(crate) fn new<S: Strand<C>>(strand: S) -> StrandFrame<C> {
+        let mut buf = InlineBuf([MaybeUninit::uninit(); INLINE_BODY_BYTES]);
+        if std::mem::size_of::<S>() <= INLINE_BODY_BYTES
+            && std::mem::align_of::<S>() <= INLINE_BODY_ALIGN
+        {
+            obs::counter!("spdag.strand_inline").inc();
+            // SAFETY: size/align checked above; the buffer is ours.
+            unsafe { (buf.0.as_mut_ptr() as *mut S).write(strand) };
+            return StrandFrame {
+                buf,
+                storage: FRAME_INLINE,
+                resume_fn: resume_strand::<C, S>,
+                drop_fn: drop_inline::<S>,
+            };
+        }
+        // Oversized state spills behind a pointer: carved from the class
+        // ladder when it fits (recirculated across strands, so warm-run
+        // suspension churn allocates nothing fresh), plain Box otherwise.
+        obs::counter!("spdag.strand_spilled").inc();
+        let class = if sched::recycle::enabled() { sched::recycle::class_of::<S>() } else { None };
+        let (ptr, storage, drop_fn): (*mut u8, u8, unsafe fn(*mut u8)) = match class {
+            Some(class) => {
+                let (raw, reused) = sched::recycle::acquire_or_alloc(class);
+                if reused {
+                    obs::counter!("sched.strand_reuse").inc();
+                } else {
+                    obs::counter!("sched.strand_alloc").inc();
+                }
+                // SAFETY: the slab is class-sized ≥ size_of::<S> and
+                // CLASS_ALIGN-aligned ≥ align_of::<S>.
+                unsafe { (raw as *mut S).write(strand) };
+                (raw, class, drop_inline::<S> as unsafe fn(*mut u8))
+            }
+            None => {
+                obs::counter!("sched.strand_alloc").inc();
+                let raw = Box::into_raw(Box::new(strand)) as *mut u8;
+                (raw, sched::recycle::UNPOOLED, drop_boxed::<S> as unsafe fn(*mut u8))
+            }
+        };
+        // SAFETY: the buffer is ≥ 8 bytes and 8-aligned; it now carries
+        // the pointer instead of the state.
+        unsafe { (buf.0.as_mut_ptr() as *mut *mut u8).write(ptr) };
+        StrandFrame { buf, storage, resume_fn: resume_strand::<C, S>, drop_fn }
+    }
+
+    fn state_ptr(&mut self) -> *mut u8 {
+        if self.storage == FRAME_INLINE {
+            self.buf.0.as_mut_ptr() as *mut u8
+        } else {
+            // SAFETY: spilled frames store the state pointer in the buffer.
+            unsafe { (self.buf.0.as_ptr() as *const *mut u8).read() }
+        }
+    }
+
+    /// Run the strand until it completes or parks. The frame must be
+    /// moved out of the vertex first (the ctx borrows the vertex).
+    pub(crate) fn resume(&mut self, ctx: &mut Ctx<'_, C>) -> StrandPoll {
+        let p = self.state_ptr();
+        // SAFETY: `p` points at the live S the constructor wrote; the
+        // thunk is the matching monomorphization.
+        unsafe { (self.resume_fn)(p, ctx) }
+    }
+}
+
+impl<C: CounterFamily> Drop for StrandFrame<C> {
+    fn drop(&mut self) {
+        let p = self.state_ptr();
+        // SAFETY: the frame still owns a live S (resume takes &mut, never
+        // consumes); UNPOOLED's thunk also frees the box.
+        unsafe { (self.drop_fn)(p) };
+        match self.storage {
+            FRAME_INLINE => {}
+            sched::recycle::UNPOOLED => obs::counter!("sched.strand_dropped").inc(),
+            class => {
+                obs::counter!("sched.strand_recycled").inc();
+                sched::recycle::release(class, p);
+            }
+        }
+    }
+}
+
+unsafe fn resume_strand<'a, 'b, C, S>(p: *mut u8, ctx: &'a mut Ctx<'b, C>) -> StrandPoll
+where
+    C: CounterFamily,
+    S: Strand<C>,
+{
+    // SAFETY: caller guarantees `p` holds a live S; the &mut does not
+    // outlive this call.
+    unsafe { (*(p as *mut S)).resume(ctx) }
+}
+
+unsafe fn drop_boxed<S>(p: *mut u8) {
+    // SAFETY: caller guarantees `p` came from Box::into_raw::<S>.
+    drop(unsafe { Box::from_raw(p as *mut S) });
+}
+
 /// The vertex's body storage: empty, inline (captures ≤
-/// `INLINE_BODY_BYTES`, no heap), or the boxed fallback.
+/// `INLINE_BODY_BYTES`, no heap), the boxed fallback, or a resumable
+/// strand frame.
 pub(crate) enum BodySlot<C: CounterFamily> {
     None,
     Boxed(Body<C>),
     Inline(InlineBody<C>),
+    Strand(StrandFrame<C>),
 }
 
 impl<C: CounterFamily> BodySlot<C> {
@@ -166,31 +340,32 @@ impl<C: CounterFamily> BodySlot<C> {
         BodySlot::Boxed(body)
     }
 
+    /// Store a resumable strand frame.
+    pub(crate) fn from_strand<S: Strand<C>>(strand: S) -> BodySlot<C> {
+        BodySlot::Strand(StrandFrame::new(strand))
+    }
+
     /// Move the body out (if any), leaving the slot empty. The result is
     /// detached from the vertex, so running it may mutably borrow the
-    /// vertex that held it.
+    /// vertex that held it. Strand frames are moved back into the slot by
+    /// the executor when the strand parks instead of completing.
     pub(crate) fn take(&mut self) -> Option<TakenBody<C>> {
         match std::mem::replace(self, BodySlot::None) {
             BodySlot::None => None,
             BodySlot::Boxed(body) => Some(TakenBody::Boxed(body)),
             BodySlot::Inline(body) => Some(TakenBody::Inline(body)),
+            BodySlot::Strand(frame) => Some(TakenBody::Strand(frame)),
         }
     }
 }
 
-/// A body moved out of its vertex, ready to run exactly once.
+/// A body moved out of its vertex: one-shot bodies run exactly once;
+/// strand frames run until they complete or park (and park puts the frame
+/// back into the vertex).
 pub(crate) enum TakenBody<C: CounterFamily> {
     Boxed(Body<C>),
     Inline(InlineBody<C>),
-}
-
-impl<C: CounterFamily> TakenBody<C> {
-    pub(crate) fn run(self, ctx: Ctx<'_, C>) {
-        match self {
-            TakenBody::Boxed(body) => body(ctx),
-            TakenBody::Inline(body) => body.invoke(ctx),
-        }
-    }
+    Strand(StrandFrame<C>),
 }
 
 /// One vertex of the sp-dag.
@@ -217,6 +392,13 @@ pub struct Vertex<C: CounterFamily> {
     /// Number of `Scope::fork`s performed by this vertex (also salts the
     /// placement key so consecutive forks hash to different leaves).
     pub(crate) forks: u64,
+    /// Set by [`Ctx::touch_await`] when it arms this vertex on an unready
+    /// future's out-set; still `true` when the vertex is rescheduled, so
+    /// the executor's entry check is how a resumption is recognized (and
+    /// the `StrandPoll::Parked`-without-registration bug is caught). Only
+    /// ever read/written by the current executor — parking hands the
+    /// vertex over through the in-counter's release/acquire edge.
+    pub(crate) park_pending: bool,
     /// The code to run; taken by the executor.
     pub(crate) body: BodySlot<C>,
 }
@@ -281,6 +463,7 @@ impl<C: CounterFamily> Vertex<C> {
                         dead: false,
                         pooled: class,
                         forks: 0,
+                        park_pending: false,
                         body,
                     });
                 }
@@ -297,6 +480,7 @@ impl<C: CounterFamily> Vertex<C> {
                     dead: false,
                     pooled: sched::recycle::UNPOOLED,
                     forks: 0,
+                    park_pending: false,
                     body,
                 }))
             }

@@ -1,0 +1,64 @@
+//! Memoized-futures Fibonacci written with `async`/`.await`: every index
+//! is one `async` block that awaits its two predecessors — the same dag
+//! as `futures_fib.rs`, but the joins are ordinary Rust `await`s instead
+//! of CPS `future_join` continuations.
+//!
+//! A [`FutureHandle`] implements `std::future::Future`, and an `async`
+//! block scheduled with `future_async` / `fork_async` runs as a
+//! *strand*: when an awaited handle is unready the strand parks — its
+//! vertex stays suspended in place while the worker returns to its
+//! deque — and the producer's completion reschedules it. No worker ever
+//! blocks, so the whole chain completes even on a single-worker pool
+//! (try `cargo run --example async_fib -- 1`).
+//!
+//! ```sh
+//! cargo run --release --example async_fib [workers]
+//! ```
+
+use std::time::Instant;
+
+use dynsnzi::prelude::*;
+
+const N: usize = 80; // fib(80) still fits u64
+
+fn fib_sequential(n: usize) -> u64 {
+    let (mut a, mut b) = (0u64, 1u64);
+    for _ in 0..n {
+        (a, b) = (b, a + b);
+    }
+    a
+}
+
+fn main() {
+    let workers = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let rt = workers.map_or_else(Runtime::new, |w| Runtime::new().workers(w));
+    println!("async fib({N}) on {} workers", rt.num_workers());
+
+    let out = OutCell::new();
+    let o = out.clone();
+    let t0 = Instant::now();
+    let stats = rt.run(move |mut ctx| {
+        let mut prev: FutureHandle<u64> = ctx.future(|_| 0u64);
+        let mut curr: FutureHandle<u64> = ctx.future(|_| 1u64);
+        for _ in 2..=N {
+            // fib(i) = fib(i-1) + fib(i-2), awaited instead of CPS-joined.
+            // Cloned handles move into the async block; `prev`/`curr`
+            // stay usable as the next index's inputs.
+            let (a, b) = (curr.clone(), prev.clone());
+            let next = ctx.future_async(async move { a.await + b.await });
+            prev = curr;
+            curr = next;
+        }
+        ctx.fork_async(async move { o.set(curr.await) });
+    });
+    let elapsed = t0.elapsed();
+
+    let got = out.take().expect("final await delivered");
+    assert_eq!(got, fib_sequential(N));
+    println!("fib({N}) = {got}  (checked against the sequential fold)");
+    println!(
+        "{} dag vertices, {} strand suspensions repaid by {} resumptions, \
+         {:?} wall clock — awaits park strands, never workers",
+        stats.pool.tasks, stats.pool.suspends, stats.pool.resumes, elapsed
+    );
+}

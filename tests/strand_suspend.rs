@@ -1,0 +1,311 @@
+//! Integration battery for suspendable strands: random programs mixing
+//! the structural operations (`spawn`/`chain`/`fork`) with both await
+//! styles — continuation passing (`touch`) and blocking
+//! (`touch_await`) — executed on real worker pools under every counter
+//! family, checking:
+//!
+//! 1. every dependent observes its future's value **exactly once**, under
+//!    real fulfill ∥ suspend races (the count-2 handshake);
+//! 2. parking never blocks a *worker*: a chain of blocking awaits far
+//!    longer than the worker count completes on a single-worker pool;
+//! 3. at quiescence the suspension counters balance
+//!    (`spdag.strand_suspend == spdag.strand_resume`) — gated on
+//!    [`obs::enabled`] so the battery also passes with telemetry
+//!    compiled out;
+//! 4. the `std::future::Future` bridge works from both sides: `async`
+//!    bodies on the pool, and a foreign executor `block_on`ing a
+//!    [`FutureHandle`].
+//!
+//! Tests serialize on a process-wide lock: the global telemetry registry
+//! can only be diffed meaningfully while no sibling test is mid-dag.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use incounter::{CounterFamily, DynConfig, DynSnzi, FetchAdd, FixedConfig, FixedDepth};
+use proptest::prelude::*;
+use spdag::{run_dag, strand_await, Ctx, FutureHandle, StrandPoll};
+
+/// Serialize the whole binary: counter-diff assertions need a quiet
+/// process, and the dag tests are individually fast.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The acceptance workload: `depth` futures in one sequential dependency
+/// chain, every hop awaited in blocking style, folded by a blocking
+/// sink. With `workers < depth` this only completes if parking suspends
+/// the *strand* and returns the worker to its deque.
+fn deep_chain<C: CounterFamily>(cfg: C::Config, workers: usize, depth: u64) {
+    let out = Arc::new(AtomicU64::new(u64::MAX));
+    let o = Arc::clone(&out);
+    run_dag::<C, _>(cfg, workers, move |mut ctx| {
+        let mut prev: FutureHandle<u64> = ctx.future(|_| 0u64);
+        for _ in 1..depth {
+            let f = prev.clone();
+            prev = ctx.future_strand(move |c: &mut Ctx<'_, C>| {
+                let v = *strand_await!(c, &f);
+                StrandPoll::Done(v + 1)
+            });
+        }
+        let f = prev;
+        ctx.fork_strand(move |c: &mut Ctx<'_, C>| {
+            o.store(*strand_await!(c, &f), Ordering::Relaxed);
+            StrandPoll::Done(())
+        });
+    });
+    assert_eq!(out.load(Ordering::Relaxed), depth - 1);
+}
+
+#[test]
+fn deep_chain_on_one_worker_never_blocks_it() {
+    let _g = serial();
+    // 1000 blocking awaits, 1 worker, all three counter families: the
+    // single worker must survive ~depth parks without ever blocking.
+    deep_chain::<DynSnzi>(DynConfig::default(), 1, 1000);
+    deep_chain::<FetchAdd>((), 1, 1000);
+    deep_chain::<FixedDepth>(FixedConfig::default(), 1, 1000);
+}
+
+#[test]
+fn suspend_and_resume_counters_balance() {
+    let _g = serial();
+    let before = obs::Snapshot::take();
+    deep_chain::<DynSnzi>(DynConfig::default(), 2, 300);
+    let d = obs::Snapshot::take().diff(&before);
+    if obs::enabled() {
+        let (s, r) = (d.counter("spdag.strand_suspend"), d.counter("spdag.strand_resume"));
+        assert!(s > 0, "a 300-deep chain on 2 workers must park somewhere");
+        assert_eq!(s, r, "every suspend must be repaid by exactly one resume");
+        // Every await either hit the ready fast path or parked; parks
+        // can't exceed awaits.
+        assert!(s <= d.counter("spdag.touch_awaits"));
+    }
+}
+
+/// Hammer the fulfill ∥ suspend race: `n` strands all blocking-await one
+/// future whose producer spins a pseudo-random number of iterations, so
+/// across repetitions the out-set registrations land before, during, and
+/// after the seal. Exactly-once delivery means the sum comes out exact.
+#[test]
+fn exactly_once_under_fulfill_suspend_races() {
+    let _g = serial();
+    for round in 0u64..120 {
+        let n = 1 + (round % 7);
+        let spin = (round * 37) % 400;
+        let sum = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&sum);
+        run_dag::<DynSnzi, _>(DynConfig::default(), 4, move |mut ctx| {
+            let f = ctx.future(move |_| {
+                for i in 0..spin {
+                    std::hint::black_box(i);
+                }
+                7u64
+            });
+            let mut scope = ctx.into_scope();
+            for _ in 0..n {
+                let f = f.clone();
+                let s = Arc::clone(&s);
+                scope.fork_strand(move |c: &mut Ctx<'_, DynSnzi>| {
+                    s.fetch_add(*strand_await!(c, &f), Ordering::Relaxed);
+                    StrandPoll::Done(())
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 7 * n, "round {round}");
+    }
+}
+
+/// A strand that parks twice (two sequential awaits) resumes through the
+/// same frame both times and sees both values.
+#[test]
+fn strand_parks_twice_through_one_frame() {
+    let _g = serial();
+    for workers in [1, 3] {
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        run_dag::<DynSnzi, _>(DynConfig::default(), workers, move |mut ctx| {
+            let a = ctx.future(|_| 40u64);
+            let b = ctx.future(|_| 2u64);
+            ctx.fork_strand(move |c: &mut Ctx<'_, DynSnzi>| {
+                let x = *strand_await!(c, &a);
+                let y = *strand_await!(c, &b);
+                o.store(x + y, Ordering::Relaxed);
+                StrandPoll::Done(())
+            });
+        });
+        assert_eq!(out.load(Ordering::Relaxed), 42);
+    }
+}
+
+/// `async` bodies compose with strand stages and CPS stages in one dag.
+#[test]
+fn async_bridge_composes_with_strands() {
+    let _g = serial();
+    let out = Arc::new(AtomicU64::new(0));
+    let o = Arc::clone(&out);
+    run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+        let a = ctx.future(|_| 4u64);
+        let b = ctx.future_async(async move { a.await + 2 });
+        let c2 = {
+            let b = b.clone();
+            ctx.future_strand(move |c: &mut Ctx<'_, DynSnzi>| {
+                StrandPoll::Done(*strand_await!(c, &b) * 7)
+            })
+        };
+        let o = Arc::clone(&o);
+        ctx.fork_async(async move {
+            o.store(c2.await, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(out.load(Ordering::Relaxed), 42);
+}
+
+/// Minimal foreign executor: poll on the calling thread, park it between
+/// wakes. Exercises the boxed-waker (tagged-token) path in the sweep.
+fn block_on<F: std::future::Future>(fut: F) -> F::Output {
+    use std::task::{Context, Poll, Wake, Waker};
+    struct Unpark(std::thread::Thread);
+    impl Wake for Unpark {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+    let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = Box::pin(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[test]
+fn foreign_executor_awaits_runtime_future() {
+    let _g = serial();
+    let (tx, rx) = std::sync::mpsc::channel::<FutureHandle<u64>>();
+    let dag = std::thread::spawn(move || {
+        run_dag::<DynSnzi, _>(DynConfig::default(), 2, move |mut ctx| {
+            let f = ctx.future(|_| {
+                // Give the foreign thread time to register a real waker
+                // (the unready path), not just hit the fast path.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                21u64
+            });
+            tx.send(f).expect("receiver alive");
+        });
+    });
+    let f = rx.recv().expect("dag sends the handle");
+    assert_eq!(block_on(f), 21);
+    dag.join().expect("dag thread clean");
+}
+
+// ---------------------------------------------------------------------
+// Random programs: structural ops and both await styles interleaved.
+
+#[derive(Debug, Clone)]
+enum Prog {
+    Leaf,
+    Spawn(Box<Prog>, Box<Prog>),
+    Chain(Box<Prog>, Box<Prog>),
+    /// Create a future worth 7, fork a CPS toucher, keep going.
+    AwaitCps(Box<Prog>),
+    /// Create a future worth 7, fork a blocking strand awaiter, keep
+    /// going.
+    AwaitBlocking(Box<Prog>),
+}
+
+impl Prog {
+    /// The exact sum the accumulator must reach: 1 per leaf, 7 per
+    /// await of either style (exactly-once makes it exact).
+    fn expected(&self) -> u64 {
+        match self {
+            Prog::Leaf => 1,
+            Prog::Spawn(a, b) | Prog::Chain(a, b) => a.expected() + b.expected(),
+            Prog::AwaitCps(rest) | Prog::AwaitBlocking(rest) => 7 + rest.expected(),
+        }
+    }
+}
+
+fn prog_strategy() -> impl Strategy<Value = Prog> {
+    let leaf = Just(Prog::Leaf);
+    leaf.prop_recursive(5, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Prog::Spawn(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Prog::Chain(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|p| Prog::AwaitCps(Box::new(p))),
+            inner.prop_map(|p| Prog::AwaitBlocking(Box::new(p))),
+        ]
+    })
+}
+
+fn exec<C: CounterFamily>(mut ctx: Ctx<'_, C>, prog: Prog, acc: Arc<AtomicU64>) {
+    match prog {
+        Prog::Leaf => {
+            acc.fetch_add(1, Ordering::Relaxed);
+        }
+        Prog::Spawn(a, b) => {
+            let (x, y) = (Arc::clone(&acc), acc);
+            ctx.spawn(move |c| exec(c, *a, x), move |c| exec(c, *b, y));
+        }
+        Prog::Chain(a, b) => {
+            let (x, y) = (Arc::clone(&acc), acc);
+            ctx.chain(move |c| exec(c, *a, x), move |c| exec(c, *b, y));
+        }
+        Prog::AwaitCps(rest) => {
+            let f = ctx.future(|_| 7u64);
+            let a = Arc::clone(&acc);
+            ctx.fork(move |c| {
+                c.touch(&f, move |_, v| {
+                    a.fetch_add(*v, Ordering::Relaxed);
+                });
+            });
+            exec(ctx, *rest, acc);
+        }
+        Prog::AwaitBlocking(rest) => {
+            let f = ctx.future(|_| 7u64);
+            let a = Arc::clone(&acc);
+            ctx.fork_strand(move |c: &mut Ctx<'_, C>| {
+                a.fetch_add(*strand_await!(c, &f), Ordering::Relaxed);
+                StrandPoll::Done(())
+            });
+            exec(ctx, *rest, acc);
+        }
+    }
+}
+
+fn run_prog<C: CounterFamily>(cfg: C::Config, workers: usize, prog: &Prog) {
+    let _g = serial();
+    let acc = Arc::new(AtomicU64::new(0));
+    let a = Arc::clone(&acc);
+    let p = prog.clone();
+    run_dag::<C, _>(cfg, workers, move |ctx| exec(ctx, p, a));
+    assert_eq!(acc.load(Ordering::Relaxed), prog.expected());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_mixed_awaits_incounter(prog in prog_strategy(), workers in 1usize..4) {
+        run_prog::<DynSnzi>(DynConfig::with_threshold(4), workers, &prog);
+    }
+
+    #[test]
+    fn random_mixed_awaits_incounter_always_grow(prog in prog_strategy(), workers in 1usize..4) {
+        run_prog::<DynSnzi>(DynConfig::always_grow(), workers, &prog);
+    }
+
+    #[test]
+    fn random_mixed_awaits_fetch_add(prog in prog_strategy(), workers in 1usize..4) {
+        run_prog::<FetchAdd>((), workers, &prog);
+    }
+
+    #[test]
+    fn random_mixed_awaits_fixed_depth(prog in prog_strategy(), depth in 0u32..5, workers in 1usize..4) {
+        run_prog::<FixedDepth>(FixedConfig { depth }, workers, &prog);
+    }
+}
