@@ -49,55 +49,23 @@ use incounter::CounterFamily;
 use outset::{AddEdge, OutsetFamily};
 
 use crate::dag::Ctx;
-use crate::futures::FutureHandle;
+use crate::futures::{FutureHandle, ParkTarget};
 use crate::vertex::{BodySlot, Strand, StrandPoll};
 
-/// Outcome of consuming a [`ParkRequest`]: either the registration stuck
-/// (the strand must park) or the future sealed first (re-poll — the value
-/// is ready now).
-enum RegisterOutcome {
-    Registered,
-    Bounced,
-}
-
-/// A pending request from [`FutureHandle::poll`] to the enclosing
-/// [`AsyncStrand`]: "register this strand's vertex on my out-set". Raw
-/// and `Copy` — the out-set pointer is only dereferenced by `register`
-/// within the same `resume` call, while the polled future (which owns a
-/// live handle, which keeps the core alive) still sits un-dropped in the
-/// strand's state machine.
-#[derive(Clone, Copy)]
-struct ParkRequest {
-    /// `*const O::Outset`, type-erased; paired with the matching
-    /// monomorphized `register` thunk.
-    outset: *const (),
-    register: unsafe fn(*const (), u64, u64) -> RegisterOutcome,
-}
-
-unsafe fn register_thunk<O: OutsetFamily>(
-    outset: *const (),
-    token: u64,
-    key: u64,
-) -> RegisterOutcome {
-    // SAFETY: `outset` was erased from `&O::Outset` by the matching
-    // `FutureHandle<_, O>::poll` and is still alive (see ParkRequest).
-    let outset = unsafe { &*(outset as *const O::Outset) };
-    match O::add(outset, token, key) {
-        AddEdge::Registered => RegisterOutcome::Registered,
-        AddEdge::Finished(_) => RegisterOutcome::Bounced,
-    }
-}
-
 /// What the current thread's innermost poll context is.
-#[derive(Clone, Copy)]
 enum BridgeState {
     /// Not inside a strand resumption: handle polls go through real
     /// (boxed, tagged) wakers.
     Inactive,
     /// Inside [`AsyncStrand::resume`], no park requested yet.
     Active,
-    /// A polled [`FutureHandle`] was unready and asks the strand to park.
-    Requested(ParkRequest),
+    /// A polled [`FutureHandle`] was unready and asks the strand to park:
+    /// "register this strand's vertex on my out-set". The request
+    /// **owns** a core reference ([`ParkTarget`] wraps a cloned
+    /// `PoolArc`), so the out-set stays alive across the poll-to-register
+    /// gap even if the polled user future dropped its handle — and every
+    /// other reference died — before returning `Pending`.
+    Requested(Box<dyn ParkTarget>),
 }
 
 thread_local! {
@@ -154,15 +122,14 @@ where
                 // was never registered, so dropping it arms nothing.
                 Poll::Ready(value) => return StrandPoll::Done(value),
                 Poll::Pending => match state {
-                    BridgeState::Requested(req) => {
+                    BridgeState::Requested(target) => {
                         let token = ctx.arm_park();
                         let key = ctx.worker_id() as u64;
-                        // SAFETY: the request was filed during the poll
-                        // just above; its out-set is still alive (see
-                        // ParkRequest) and the thunk matches it.
-                        match unsafe { (req.register)(req.outset, token, key) } {
-                            RegisterOutcome::Registered => return StrandPoll::Parked,
-                            RegisterOutcome::Bounced => {
+                        // The target's owned core reference keeps the
+                        // out-set alive until this registration lands.
+                        match target.register(token, key) {
+                            AddEdge::Registered => return StrandPoll::Parked,
+                            AddEdge::Finished(_) => {
                                 // Sealed in the gap between poll and
                                 // registration: the value is ready —
                                 // disarm and re-poll immediately.
@@ -193,19 +160,22 @@ where
         if let Some(value) = self.try_get() {
             return Poll::Ready(value.clone());
         }
-        let in_strand =
-            BRIDGE.with(|b| matches!(b.get(), BridgeState::Active | BridgeState::Requested(_)));
+        let in_strand = BRIDGE.with(|b| {
+            // Cell peek-by-swap (BridgeState owns its park target, so the
+            // cell cannot hand out copies).
+            let state = b.replace(BridgeState::Inactive);
+            let in_strand = matches!(state, BridgeState::Active | BridgeState::Requested(_));
+            b.set(state);
+            in_strand
+        });
         if in_strand {
             // File a park request for the enclosing AsyncStrand; it arms
             // the vertex and performs the registration after the poll
             // unwinds (a later unready handle in the same poll replaces
-            // this request — see the module docs on combinators).
-            BRIDGE.with(|b| {
-                b.set(BridgeState::Requested(ParkRequest {
-                    outset: self.outset() as *const O::Outset as *const (),
-                    register: register_thunk::<O>,
-                }))
-            });
+            // this request — see the module docs on combinators). The
+            // request owns a cloned core reference, so the out-set it
+            // targets outlives even a handle dropped mid-poll.
+            BRIDGE.with(|b| b.set(BridgeState::Requested(self.park_target())));
             return Poll::Pending;
         }
         // Foreign executor: box the real waker and register it, tagged

@@ -36,6 +36,13 @@ pub struct Ctx<'a, C: CounterFamily> {
     pub(crate) vertex: &'a mut Vertex<C>,
     pub(crate) worker: &'a WorkerCtx<'a, VertexPtr<C>>,
     pub(crate) cfg: &'a C::Config,
+    /// `true` only when the executor is running a resumable strand frame
+    /// (the `TakenBody::Strand` arm). Gates [`arm_park`](Ctx::arm_park):
+    /// a one-shot body has no frame to park, so letting it register on an
+    /// out-set would retire the vertex with the registration still armed —
+    /// a use-after-free in waiting. The gate turns that into an immediate
+    /// panic before anything is registered.
+    pub(crate) resumable: bool,
 }
 
 impl<'a, C: CounterFamily> Ctx<'a, C> {
@@ -67,6 +74,12 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
     /// bridge which registers the token itself). Returns the out-set
     /// registration token: the vertex address.
     pub(crate) fn arm_park(&mut self) -> u64 {
+        assert!(
+            self.resumable,
+            "touch_await outside a strand resumption: only resumable strand bodies \
+             (fork_strand/future_strand/fork_async and friends) can park; a one-shot \
+             body has no frame to resume"
+        );
         let cfg = self.cfg;
         let u = self.vertex_mut();
         debug_assert!(!u.park_pending, "park armed twice in one resumption");
@@ -261,24 +274,20 @@ fn execute_vertex<C: CounterFamily>(
     }
     match v.body.take() {
         None => {}
-        Some(TakenBody::Boxed(body)) => body(Ctx { vertex: &mut v, worker, cfg }),
-        Some(TakenBody::Inline(body)) => body.invoke(Ctx { vertex: &mut v, worker, cfg }),
+        Some(TakenBody::Boxed(body)) => body(Ctx { vertex: &mut v, worker, cfg, resumable: false }),
+        Some(TakenBody::Inline(body)) => {
+            body.invoke(Ctx { vertex: &mut v, worker, cfg, resumable: false })
+        }
         Some(TakenBody::Strand(mut frame)) => {
             let poll = {
-                let mut ctx = Ctx { vertex: &mut v, worker, cfg };
+                let mut ctx = Ctx { vertex: &mut v, worker, cfg, resumable: true };
                 frame.resume(&mut ctx)
             };
             match poll {
                 StrandPoll::Done(()) => {
-                    if v.park_pending {
-                        // touch_await registered this vertex on an
-                        // out-set, yet the strand claimed completion. The
-                        // registration will fire into whatever the slab
-                        // becomes; retiring would be a use-after-free in
-                        // waiting, so leak the vertex and fail loudly.
-                        std::mem::forget(v);
-                        panic!("strand returned Done after a touch_await parked it");
-                    }
+                    // A leftover armed park (Done after a Parked
+                    // touch_await) is caught by the epilogue check below,
+                    // which every non-parking exit path funnels through.
                     // Frame drops here; fall through to the signal
                     // epilogue like any completed body.
                 }
@@ -313,6 +322,17 @@ fn execute_vertex<C: CounterFamily>(
                 }
             }
         }
+    }
+    if v.park_pending {
+        // A touch_await armed this vertex on a future's out-set, yet the
+        // body ended without committing the park (a strand that claimed
+        // Done after a Parked touch). The registration will fire into
+        // whatever the slab becomes; retiring — or even signalling fin —
+        // would be a use-after-free in waiting, so leak the vertex and
+        // fail loudly. Checked before the `dead` early-return so a body
+        // that parked and then spawned/chained cannot slip through.
+        std::mem::forget(v);
+        panic!("body ended with a parked touch_await still armed (strand returned Done?)");
     }
     if v.dead {
         return; // continuation took over this vertex's obligations

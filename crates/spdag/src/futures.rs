@@ -147,6 +147,48 @@ impl<T, O: OutsetFamily> FutureCore<T, O> {
     }
 }
 
+impl<T, O: OutsetFamily> Drop for FutureCore<T, O> {
+    fn drop(&mut self) {
+        if O::is_finished(&self.outset) {
+            return; // the completion sweep ran and consumed every token
+        }
+        // The future was abandoned before its completion sweep (e.g. a
+        // torn-down dag, or a core that never ran). Registered tokens are
+        // still sitting in the out-set: tagged tokens are boxed
+        // foreign-executor wakers minted by the async bridge — reclaim
+        // them here so a repeatedly-polled-then-abandoned future does not
+        // leak one box per poll. Untagged tokens would be parked vertices,
+        // which only exist here if the dag around the future already broke
+        // its scoping invariants; no value was ever published, so they
+        // cannot be delivered and are left to the dag's own teardown.
+        O::finish(&self.outset, &mut |token| {
+            if token & 1 == 1 {
+                // SAFETY: tagged tokens are minted exclusively by
+                // `async_bridge` from `Box::into_raw`, one reclamation
+                // each; the sweep never ran, so this is the first.
+                drop(unsafe { Box::from_raw((token & !1) as usize as *mut std::task::Waker) });
+            }
+        });
+    }
+}
+
+/// Crate-internal: a type-erased **owning** registration surface for the
+/// async bridge's park requests. Holding one keeps the [`FutureCore`] —
+/// and thus the out-set the request targets — alive across the gap
+/// between the `FutureHandle::poll` that filed the request and the strand
+/// executor consuming it, even if the polled user future dropped its
+/// handle (and every other core reference died) inside that gap.
+pub(crate) trait ParkTarget: Send {
+    /// Register `token` on the underlying future's out-set.
+    fn register(&self, token: u64, key: u64) -> AddEdge;
+}
+
+impl<T: Send + Sync, O: OutsetFamily> ParkTarget for PoolArc<FutureCore<T, O>> {
+    fn register(&self, token: u64, key: u64) -> AddEdge {
+        O::add(&self.outset, token, key)
+    }
+}
+
 /// A cloneable reference to a future created by [`Ctx::future`].
 ///
 /// Handles may travel to any vertex of the same dag run; any of them may
@@ -247,6 +289,13 @@ impl<T: Send + Sync + 'static, O: OutsetFamily> FutureHandle<T, O> {
     /// protocol — all probes on the tree out-set are racy snapshots.
     pub fn outset(&self) -> &O::Outset {
         &self.core.outset
+    }
+
+    /// Crate-internal: an owning, type-erased park-registration target
+    /// for the async bridge (one [`PoolArc`] clone behind a box — see
+    /// [`ParkTarget`]).
+    pub(crate) fn park_target(&self) -> Box<dyn ParkTarget> {
+        Box::new(self.core.clone())
     }
 }
 
@@ -666,9 +715,11 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
     /// [`StrandPoll::Parked`]; when the future fulfills, the strand is
     /// rescheduled and re-enters from the top, where this same call now
     /// takes the ready fast path. Only strand bodies
-    /// ([`Ctx::fork_strand`], [`Ctx::future_strand`]) may park; a parked
-    /// touch from a one-shot body is a programming error the executor
-    /// turns into a panic.
+    /// ([`Ctx::fork_strand`], [`Ctx::future_strand`]) may park; an
+    /// unready touch from a one-shot body is a programming error that
+    /// panics right here, before anything is registered (a one-shot body
+    /// has no frame to resume, so an armed registration could only ever
+    /// fire into a retired vertex).
     ///
     /// ## Exactly-once resumption under fulfill ∥ suspend
     ///
@@ -760,11 +811,24 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
 /// strand), not scheduled, and the caller must hold one — exactly one —
 /// of its pending delivery rights.
 pub(crate) unsafe fn resolve_dependent<C: CounterFamily>(w: *mut Vertex<C>) -> bool {
-    // SAFETY: `w` is alive (leaked, unscheduled) per the caller contract;
-    // `counter` is the only field touched, and counters are Sync — the
-    // parking executor may still be unwinding other fields concurrently.
-    let wref = unsafe { &*w };
-    let counter = wref.counter_ref();
+    // Project straight to the counter field: materializing `&Vertex`
+    // here would claim read validity over the *whole* struct while the
+    // parking executor may still hold `&mut Vertex` and be writing
+    // `body`/`park_pending` before its own decrement — undefined
+    // behaviour under the aliasing model even though only the counter
+    // would be read. The counter field itself is quiescent: `arm_park`
+    // (or `touch`'s vertex construction) wrote it strictly before the
+    // registration that handed this caller its delivery right, and
+    // nothing writes it again until the resumed executor owns the vertex.
+    //
+    // SAFETY: `w` is alive (leaked, unscheduled) per the caller contract,
+    // so the field projection is in bounds; the shared reference created
+    // below covers only the counter bytes, which no one mutates
+    // concurrently (the counter's internals are atomics, Sync by the
+    // CounterFamily bounds).
+    let counter = unsafe {
+        (*std::ptr::addr_of!((*w).counter)).as_ref().expect("waiting dependent without a counter")
+    };
     // SAFETY: each root decrement handle consumes one unit of the
     // counter's initial surplus, once per delivery right.
     unsafe { C::decrement(counter, C::root_dec(counter)) }

@@ -403,11 +403,15 @@ pub struct Vertex<C: CounterFamily> {
     pub(crate) body: BodySlot<C>,
 }
 
-// SAFETY: the only field accessed through `&Vertex` across threads is
-// `counter` (Sync by the CounterFamily bounds); every other field is
-// touched solely by the single creator (before publication) or the single
-// executor (which holds the vertex exclusively). The raw `fin` pointer is
-// dereferenced only while the pointee is provably alive (see module docs).
+// SAFETY: the only field ever accessed across threads is `counter` (Sync
+// by the CounterFamily bounds); every other field is touched solely by
+// the single creator (before publication) or the single executor (which
+// holds the vertex exclusively). Concurrent deliveries against a vertex
+// whose executor is still unwinding (`futures::resolve_dependent` racing
+// a park commit) reach the counter through a raw field projection, never
+// a whole-`&Vertex` reference, so they assert nothing about the fields
+// the executor is writing. The raw `fin` pointer is dereferenced only
+// while the pointee is provably alive (see module docs).
 unsafe impl<C: CounterFamily> Send for Vertex<C> {}
 unsafe impl<C: CounterFamily> Sync for Vertex<C> {}
 

@@ -58,6 +58,40 @@ fn deep_chain<C: CounterFamily>(cfg: C::Config, workers: usize, depth: u64) {
     assert_eq!(out.load(Ordering::Relaxed), depth - 1);
 }
 
+/// Regression: a one-shot body calling `touch_await` on an unready
+/// future must panic **at the call site**, before any out-set
+/// registration. (It used to be able to ignore the `Parked` result and
+/// fall through to retirement with its address still registered — a
+/// use-after-free in waiting.) W=1 makes the future deterministically
+/// unready: the only worker is still inside the root body.
+#[test]
+#[should_panic(expected = "worker panicked")]
+fn touch_await_from_one_shot_body_panics_before_registering() {
+    let _g = serial();
+    run_dag::<DynSnzi, _>(DynConfig::default(), 1, |mut ctx| {
+        let f = ctx.future(|_| 1u64);
+        let _ = ctx.touch_await(&f);
+    });
+}
+
+/// Regression: a strand that parks on `touch_await` and then wrongly
+/// claims `Done` (instead of propagating `Parked`) must be caught by the
+/// executor's epilogue — the vertex is leaked, never retired, because
+/// its address is live on the future's out-set. W=1 + LIFO owner pops
+/// make the future deterministically unready when the strand runs.
+#[test]
+#[should_panic(expected = "worker panicked")]
+fn strand_done_after_parked_touch_is_caught() {
+    let _g = serial();
+    run_dag::<DynSnzi, _>(DynConfig::default(), 1, |mut ctx| {
+        let f = ctx.future(|_| 1u64);
+        ctx.fork_strand(move |c: &mut Ctx<'_, DynSnzi>| {
+            let _ = c.touch_await(&f);
+            StrandPoll::Done(()) // wrong: a parked strand must return Parked
+        });
+    });
+}
+
 #[test]
 fn deep_chain_on_one_worker_never_blocks_it() {
     let _g = serial();
