@@ -463,8 +463,18 @@ impl TreeOutsetObj {
                 // through and try to install a fresh head.
             }
             let fresh = self.alloc_block(head);
-            if lane.head.compare_exchange(head, fresh, Ordering::SeqCst, Ordering::SeqCst).is_err()
-            {
+            // Failpoint (no-op unless `fault-inject` arms it): skip the
+            // install attempt and take the lost-CAS branch as if a
+            // competitor won — the never-published block goes back, the
+            // split coin flips, and the loop retries. Deterministically
+            // exercises the contention transient the adaptive policy is
+            // built around, on a single quiet thread if need be.
+            let lost = sched::failpoint::fire("outset.install_cas")
+                || lane
+                    .head
+                    .compare_exchange(head, fresh, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err();
+            if lost {
                 // Lost the install race; the never-published block goes
                 // straight back — to the recycler when recycling (keeping
                 // the birth/death accounting balanced), else the

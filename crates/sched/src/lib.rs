@@ -33,6 +33,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod deque;
+pub mod failpoint;
 pub mod pool;
 pub mod poolarc;
 pub mod recycle;
@@ -40,7 +41,8 @@ pub mod rng;
 pub mod slab;
 
 pub use deque::{StealResult, Stealer, Word, WorkerDeque};
-pub use pool::{run, PoolStats, Termination, WorkerCtx};
+pub use failpoint::{FaultMode, FaultPlan, SiteSpec};
+pub use pool::{run, run_watched, PoolState, PoolStats, Termination, WatchdogCfg, WorkerCtx};
 pub use poolarc::PoolArc;
 pub use slab::SlabPool;
 

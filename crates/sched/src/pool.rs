@@ -37,7 +37,9 @@
 //! hysteresis), so a straggler task doesn't bounce the pool in and out
 //! of the kernel.
 
+use std::any::Any;
 use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -53,6 +55,21 @@ pub enum Termination {
     DoneFlag,
     /// Stop when every pushed task has been executed (counted).
     Quiesce,
+}
+
+/// How a [`run`] ended. A poisoned run never actually returns its stats —
+/// [`run`] resumes the first captured panic at the caller — but the state
+/// is part of [`PoolStats`] so interpreters that record panics without
+/// terminating (see [`WorkerCtx::record_panic`]) have a well-defined
+/// lifecycle to document and assert against.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum PoolState {
+    /// The computation ran to its termination condition with no panic.
+    #[default]
+    Completed,
+    /// At least one panic was recorded; the pool drained and the first
+    /// payload was re-raised at the [`run`] caller.
+    Poisoned,
 }
 
 /// Aggregated execution statistics for one [`run`].
@@ -81,6 +98,12 @@ pub struct PoolStats {
     /// Times a parked worker came back without any visible work (timeout
     /// expiry or a wake that raced with someone else taking the task).
     pub spurious_wakes: u64,
+    /// Panics recorded during the run ([`WorkerCtx::record_panic`] plus
+    /// any caught by the pool's own backstop). The first payload is
+    /// re-raised by [`run`]; later ones are counted here (first wins).
+    pub panics: u64,
+    /// Whether the run completed cleanly or was poisoned by a panic.
+    pub state: PoolState,
 }
 
 struct EventCount {
@@ -135,6 +158,17 @@ impl EventCount {
     /// than one `notify_one` and sleepers never stampede.
     #[inline]
     fn notify(&self) {
+        // Failpoints on the wake path (no-ops unless `fault-inject` arms
+        // them): dropping a notify entirely is recoverable — the bounded
+        // park wait below is exactly the belt-and-braces that absorbs a
+        // lost wake — and a delayed notify widens the sleep/notify race
+        // window the store-buffer handshake must close.
+        if crate::failpoint::fire("sched.lost_wake") {
+            return;
+        }
+        if crate::failpoint::fire("sched.delayed_wake") {
+            std::thread::sleep(Duration::from_micros(50));
+        }
         fence(Ordering::SeqCst);
         if self.waiters.load(Ordering::SeqCst) > 0 {
             let guard = self.mutex.lock();
@@ -161,6 +195,27 @@ struct Shared<T: Word> {
     pending: AtomicIsize,
     termination: Termination,
     sleep: EventCount,
+    /// First captured panic payload; re-raised by [`run`] after the pool
+    /// drains. Later panics only bump `panics` (first wins).
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Total panics recorded this run.
+    panics: AtomicU64,
+    /// Tasks executed, bumped per-execute only when a watchdog is
+    /// attached (`watched`), so unwatched runs pay nothing shared.
+    progress: AtomicU64,
+    watched: bool,
+}
+
+impl<T: Word> Shared<T> {
+    /// Record a panic payload: the first is kept for re-raising at the
+    /// [`run`] caller, every one is counted.
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        self.panics.fetch_add(1, Ordering::SeqCst);
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
 }
 
 /// Per-worker execution context handed to the task body.
@@ -266,6 +321,24 @@ impl<'a, T: Word> WorkerCtx<'a, T> {
     pub fn is_finished(&self) -> bool {
         self.shared.done.load(Ordering::Acquire)
     }
+
+    /// Record a panic payload captured by the task interpreter *without*
+    /// terminating the pool. The interpreter keeps executing tasks so a
+    /// structured computation (e.g. an sp-dag) can drain to its own
+    /// termination — preserving every conservation identity — and [`run`]
+    /// re-raises the first recorded payload once all workers have
+    /// returned. Interpreters with no structural drain should instead let
+    /// the panic unwind into the pool's backstop, which records it *and*
+    /// calls [`finish`](WorkerCtx::finish).
+    pub fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        self.shared.record_panic(payload);
+    }
+
+    /// Whether any panic has been recorded this run (racy snapshot;
+    /// `true` is stable).
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.panics.load(Ordering::SeqCst) > 0
+    }
 }
 
 /// Failed whole-pool steal sweeps spent spin-relaxing (with the pause
@@ -356,8 +429,21 @@ where
     T: Word,
     F: Fn(&WorkerCtx<'_, T>, T) + Sync,
 {
-    f(ctx, task);
+    // Backstop: a panic the interpreter did not absorb must never unwind
+    // through `worker_loop` (stranding sibling workers on a termination
+    // signal that never comes). A generic task soup has no structural
+    // drain, so record the payload and terminate; `run` re-raises it.
+    // The sp-dag interpreter catches panics itself (per-vertex, keeping
+    // the dag draining), so this path only fires for raw-pool users.
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(ctx, task))) {
+        ctx.shared.record_panic(payload);
+        ctx.shared.done.store(true, Ordering::Release);
+        ctx.shared.sleep.notify_all_force();
+    }
     ctx.tasks.set(ctx.tasks.get() + 1);
+    if ctx.shared.watched {
+        ctx.shared.progress.fetch_add(1, Ordering::Relaxed);
+    }
     if ctx.shared.termination == Termination::Quiesce
         && ctx.shared.pending.fetch_sub(1, Ordering::AcqRel) == 1
     {
@@ -366,12 +452,161 @@ where
     }
 }
 
+/// Opt-in stall monitor for [`run_watched`]: a sidecar thread that
+/// watches the pool's executed-task count and, if it stops moving for
+/// `stall_timeout` while the pool has not terminated, dumps a diagnostic
+/// (queue occupancy, park state, live counter snapshot, trace-ring tail)
+/// to stderr, force-terminates the pool, and re-raises the report as a
+/// panic at the [`run_watched`] caller — a hang becomes a fast, described
+/// failure instead of a CI timeout.
+///
+/// The trigger is *no task retired for the whole timeout*, which
+/// subsumes both hang shapes the sp-dag layer can produce ("all workers
+/// parked while tasks are pending" and "a suspended strand whose resume
+/// was lost", i.e. `suspends != resumes` forever): in either case no
+/// vertex executes again. A single legitimately long-running task body
+/// also trips it, so size `stall_timeout` above the longest body you
+/// schedule; this is a harness/test facility, not a production default.
+#[derive(Clone, Debug)]
+pub struct WatchdogCfg {
+    /// How long the executed-task count may stand still, with the pool
+    /// unterminated, before the run is declared hung.
+    pub stall_timeout: Duration,
+}
+
+impl Default for WatchdogCfg {
+    fn default() -> WatchdogCfg {
+        WatchdogCfg { stall_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// Build the diagnostic the watchdog emits when it declares a stall.
+fn stall_report<T: Word>(shared: &Shared<T>, cfg: &WatchdogCfg) -> String {
+    use std::fmt::Write as _;
+    let n = shared.stealers.len();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "sched watchdog: no task executed for {:?}; the pool looks hung",
+        cfg.stall_timeout
+    );
+    let _ = writeln!(s, "  tasks executed      : {}", shared.progress.load(Ordering::SeqCst));
+    let _ = writeln!(
+        s,
+        "  parked workers      : {}/{} announced waiters",
+        shared.sleep.waiters.load(Ordering::SeqCst),
+        n
+    );
+    let occupied: Vec<usize> = (0..n).filter(|&i| !shared.stealers[i].is_empty()).collect();
+    let _ = writeln!(s, "  non-empty deques    : {occupied:?}");
+    if shared.termination == Termination::Quiesce {
+        let _ = writeln!(s, "  pending (quiesce)   : {}", shared.pending.load(Ordering::SeqCst));
+    }
+    let _ = writeln!(s, "  panics recorded     : {}", shared.panics.load(Ordering::SeqCst));
+    let snap = obs::Snapshot::take();
+    if !snap.is_empty() {
+        let _ = writeln!(s, "  counter snapshot (suspends != resumes means a lost resume):");
+        for (name, value) in snap.counters() {
+            let _ = writeln!(s, "    {name:<28} {value}");
+        }
+    }
+    let trace = obs::trace::take();
+    if !trace.is_empty() {
+        let tail = &trace.events[trace.events.len().saturating_sub(16)..];
+        let _ = writeln!(s, "  trace-ring tail ({} of {} events):", tail.len(), trace.len());
+        for e in tail {
+            let _ =
+                writeln!(s, "    ts={}ns ring={} {:?} arg={:#x}", e.ts_ns, e.ring, e.kind, e.arg);
+        }
+    }
+    s
+}
+
+/// The watchdog sidecar: poll the progress counter until the pool
+/// terminates or the stall timeout elapses with no movement.
+fn watchdog_loop<T: Word>(shared: &Shared<T>, cfg: &WatchdogCfg) {
+    let poll = (cfg.stall_timeout / 8).max(Duration::from_millis(1));
+    let mut last = shared.progress.load(Ordering::SeqCst);
+    let mut still = Duration::ZERO;
+    while !shared.done.load(Ordering::Acquire) {
+        std::thread::sleep(poll);
+        let now = shared.progress.load(Ordering::SeqCst);
+        if now != last {
+            last = now;
+            still = Duration::ZERO;
+            continue;
+        }
+        still += poll;
+        if still >= cfg.stall_timeout {
+            let report = stall_report(shared, cfg);
+            eprintln!("{report}");
+            // Fail fast: poison the run with the report, then break the
+            // hang with the termination broadcast so every parked worker
+            // exits and `run` can re-raise the report at the caller.
+            shared.record_panic(Box::new(report));
+            shared.done.store(true, Ordering::Release);
+            shared.sleep.notify_all_force();
+            return;
+        }
+    }
+}
+
+/// Flushes this worker's slab caches when dropped, so the flush happens
+/// on the unwind path too — a poisoned run must leave the recycler's
+/// global gauges as deterministic as a clean one, or the conservation
+/// identities `obs --assert-bound` checks would dangle on cached blocks.
+struct CacheFlushGuard;
+
+impl Drop for CacheFlushGuard {
+    fn drop(&mut self) {
+        crate::slab::flush_this_thread();
+    }
+}
+
 /// Execute `roots` (and everything they transitively push) on `n` workers.
 ///
 /// `f` is the task interpreter: it receives the per-worker context and one
 /// task, may push more tasks, and — in [`Termination::DoneFlag`] mode —
 /// must eventually cause some task to call [`WorkerCtx::finish`].
+///
+/// # Panics
+///
+/// If any task panicked (directly, or recorded via
+/// [`WorkerCtx::record_panic`]), the pool finishes draining, folds its
+/// telemetry, and then re-raises the *first* captured payload here —
+/// callers observe the original panic, never a hang or a worker-thread
+/// abort.
 pub fn run<T, F>(n: usize, roots: Vec<T>, termination: Termination, f: F) -> PoolStats
+where
+    T: Word,
+    F: Fn(&WorkerCtx<'_, T>, T) + Sync,
+{
+    run_inner(n, roots, termination, None, f)
+}
+
+/// As [`run`], with a [`WatchdogCfg`] stall monitor attached (see its
+/// docs for the trigger condition and the report format).
+pub fn run_watched<T, F>(
+    n: usize,
+    roots: Vec<T>,
+    termination: Termination,
+    watchdog: WatchdogCfg,
+    f: F,
+) -> PoolStats
+where
+    T: Word,
+    F: Fn(&WorkerCtx<'_, T>, T) + Sync,
+{
+    run_inner(n, roots, termination, Some(watchdog), f)
+}
+
+fn run_inner<T, F>(
+    n: usize,
+    roots: Vec<T>,
+    termination: Termination,
+    watchdog: Option<WatchdogCfg>,
+    f: F,
+) -> PoolStats
 where
     T: Word,
     F: Fn(&WorkerCtx<'_, T>, T) + Sync,
@@ -399,15 +634,29 @@ where
         pending: AtomicIsize::new(pending),
         termination,
         sleep: EventCount::new(),
+        panic: Mutex::new(None),
+        panics: AtomicU64::new(0),
+        progress: AtomicU64::new(0),
+        watched: watchdog.is_some(),
     };
     let f = &f;
     let shared_ref = &shared;
+    let watchdog_ref = watchdog.as_ref();
     let stats: Vec<(u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+        if let Some(cfg) = watchdog_ref {
+            scope.spawn(move || watchdog_loop(shared_ref, cfg));
+        }
         let handles: Vec<_> = deques
             .into_iter()
             .enumerate()
             .map(|(id, deque)| {
                 scope.spawn(move || {
+                    // Leave nothing stranded in this worker's slab
+                    // caches: the guard flushes at loop exit *and* on an
+                    // unwinding worker (a panic that escaped even the
+                    // execute backstop), so post-run recycler gauges are
+                    // deterministic for poisoned runs too.
+                    let _flush = CacheFlushGuard;
                     let ctx = WorkerCtx {
                         deque: &deque,
                         shared: shared_ref,
@@ -420,10 +669,6 @@ where
                         rng: RefCell::new(VictimRng::new(0x853C_49E6_748F_EA9B ^ (id as u64 + 1))),
                     };
                     worker_loop(&ctx, f);
-                    // Leave nothing stranded in this worker's slab
-                    // caches: flushing here (not just at thread exit)
-                    // makes post-run recycler gauges deterministic.
-                    crate::slab::flush_this_thread();
                     (
                         ctx.tasks.get(),
                         ctx.steals.get(),
@@ -434,7 +679,25 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(tallies) => tallies,
+                Err(payload) => {
+                    // A worker thread itself unwound (possible only if
+                    // unwinding escaped the execute backstop, e.g. a
+                    // panic inside a task destructor). Capture instead of
+                    // re-panicking here: re-raising mid-join while
+                    // another worker's panic is in flight would be a
+                    // double-panic abort. First payload wins; its worker
+                    // contributes zero tallies.
+                    shared_ref.record_panic(payload);
+                    shared_ref.done.store(true, Ordering::Release);
+                    shared_ref.sleep.notify_all_force();
+                    (0, 0, 0, 0, 0)
+                }
+            })
+            .collect()
     });
     let mut out = PoolStats::default();
     for &(t, s, p, sus, res) in &stats {
@@ -447,8 +710,12 @@ where
     }
     out.wakeups = shared.sleep.wakes.load(Ordering::Relaxed);
     out.spurious_wakes = shared.sleep.spurious.load(Ordering::Relaxed);
+    out.panics = shared.panics.load(Ordering::SeqCst);
+    out.state = if out.panics > 0 { PoolState::Poisoned } else { PoolState::Completed };
     // Per-worker tallies are cheap `Cell`s on the hot path; fold them
     // into the registry in one bulk add per counter at pool teardown.
+    // This happens *before* a poisoned run re-raises, so `--assert-bound`
+    // style checks see the full sched tallies of a panicked run.
     obs::counter!("sched.tasks").add(out.tasks);
     obs::counter!("sched.steals").add(out.steals);
     obs::counter!("sched.parks").add(out.parks);
@@ -456,6 +723,11 @@ where
     obs::counter!("sched.resumes").add(out.resumes);
     obs::counter!("sched.wakeups").add(out.wakeups);
     obs::counter!("sched.spurious_wakes").add(out.spurious_wakes);
+    obs::counter!("sched.panics").add(out.panics);
+    let first = shared.panic.lock().take();
+    if let Some(payload) = first {
+        resume_unwind(payload);
+    }
     out
 }
 

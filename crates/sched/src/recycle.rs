@@ -144,14 +144,25 @@ fn class_layout(class: u8) -> Layout {
 /// class.
 pub fn acquire_or_alloc(class: u8) -> (*mut u8, bool) {
     debug_assert_ne!(class, UNPOOLED);
-    if let Some(ptr) = POOLS[class as usize].acquire() {
-        #[cfg(debug_assertions)]
-        // SAFETY: the slab is at least 32 bytes and exclusively ours.
-        unsafe {
-            assert_eq!((ptr as *const u64).read(), POISON, "recycled slab lost its poison stamp");
-            assert_eq!((ptr as *const u64).add(1).read(), POISON, "poison stamp torn");
+    // Failpoint (no-op unless `fault-inject` arms it): pretend the class
+    // pool is empty, forcing the fresh-allocation path. Conservation
+    // (`allocated + reused == recycled + dropped`) is unaffected — the
+    // slab is simply born fresh — which is exactly what makes the site
+    // safe to fire anywhere.
+    if !crate::failpoint::fire("sched.recycle_miss") {
+        if let Some(ptr) = POOLS[class as usize].acquire() {
+            #[cfg(debug_assertions)]
+            // SAFETY: the slab is at least 32 bytes and exclusively ours.
+            unsafe {
+                assert_eq!(
+                    (ptr as *const u64).read(),
+                    POISON,
+                    "recycled slab lost its poison stamp"
+                );
+                assert_eq!((ptr as *const u64).add(1).read(), POISON, "poison stamp torn");
+            }
+            return (ptr, true);
         }
-        return (ptr, true);
     }
     let layout = class_layout(class);
     // SAFETY: the class layout has non-zero size.

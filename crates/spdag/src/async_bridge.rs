@@ -160,6 +160,17 @@ where
         if let Some(value) = self.try_get() {
             return Poll::Ready(value.clone());
         }
+        if self.is_poisoned() {
+            // Completed with no value: the future's body panicked under
+            // panic isolation. `Output = T` has no error channel, so the
+            // poisoned error surfaces as a descriptive panic here —
+            // never a hang, and never a registration on a sealed
+            // out-set that would bounce into a confusing expect.
+            panic!(
+                "polled future is poisoned: its body panicked before publishing a value \
+                 (the original panic is re-raised at the run_dag caller)"
+            );
+        }
         let in_strand = BRIDGE.with(|b| {
             // Cell peek-by-swap (BridgeState owns its park target, so the
             // cell cannot hand out copies).
@@ -193,8 +204,14 @@ where
                 // SAFETY: the bounce returns exclusive ownership of the
                 // token we just minted.
                 drop(unsafe { Box::from_raw(raw) });
-                let value =
-                    self.try_get().expect("bounced registration implies completion").clone();
+                let value = self
+                    .try_get()
+                    .expect(
+                        "bounced registration on a poisoned future: its body panicked \
+                         before publishing a value (the original panic is re-raised at \
+                         the run_dag caller)",
+                    )
+                    .clone();
                 Poll::Ready(value)
             }
         }

@@ -251,6 +251,16 @@ impl<C: CounterFamily> Drop for OwnedVertex<C> {
     }
 }
 
+/// How one body dispatch ended (the value that crosses the
+/// `catch_unwind` boundary in `execute_vertex`): the body ran to its end
+/// — completed, spawned, chained, or misbehaved, all settled by the
+/// epilogue — or a strand asked to park, handing its frame back for the
+/// commit.
+enum BodyOutcome<C: CounterFamily> {
+    Ran,
+    Parked(crate::vertex::StrandFrame<C>),
+}
+
 /// Execute one vertex: run its body, then — unless the body ended with a
 /// spawn/chain, or parked itself on a future — signal the finish vertex
 /// (the paper's `signal`).
@@ -272,55 +282,112 @@ fn execute_vertex<C: CounterFamily>(
         worker.note_resume();
         obs::counter!("spdag.strand_resume").inc();
     }
-    match v.body.take() {
-        None => {}
-        Some(TakenBody::Boxed(body)) => body(Ctx { vertex: &mut v, worker, cfg, resumable: false }),
-        Some(TakenBody::Inline(body)) => {
-            body.invoke(Ctx { vertex: &mut v, worker, cfg, resumable: false })
+    // The body runs inside `catch_unwind`: one panicking body must not
+    // unwind into the worker loop (stranding siblings on a termination
+    // count that never arrives) and must not skip the signal epilogue —
+    // the dag keeps draining structurally, the pool terminates through
+    // the normal final-vertex path, and `sched::run` re-raises the first
+    // captured payload at the caller. `docs/robustness.md` walks the
+    // state machine.
+    let body = v.body.take();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if sched::failpoint::fire("spdag.panic_vertex") {
+            panic!("failpoint: spdag.panic_vertex injected a body panic");
         }
-        Some(TakenBody::Strand(mut frame)) => {
-            let poll = {
-                let mut ctx = Ctx { vertex: &mut v, worker, cfg, resumable: true };
-                frame.resume(&mut ctx)
-            };
-            match poll {
-                StrandPoll::Done(()) => {
-                    // A leftover armed park (Done after a Parked
-                    // touch_await) is caught by the epilogue check below,
-                    // which every non-parking exit path funnels through.
-                    // Frame drops here; fall through to the signal
-                    // epilogue like any completed body.
-                }
-                StrandPoll::Parked => {
-                    assert!(
-                        v.park_pending,
-                        "strand returned Parked without a parked touch_await \
-                         (nothing would ever resume it)"
-                    );
-                    // Commit the park. The frame goes back into the
-                    // vertex, then we release our half of the count-2
-                    // handshake touch_await armed: one decrement belongs
-                    // to the fulfiller's sweep, one to us, and whoever
-                    // lands second zeroes the counter and reschedules
-                    // the vertex. Decrement-last makes every field write
-                    // above it visible to the resuming executor through
-                    // the counter's release/acquire edge — after our
-                    // decrement we own nothing.
-                    v.body = BodySlot::Strand(frame);
-                    worker.note_suspend();
-                    obs::counter!("spdag.strand_suspend").inc();
-                    obs::trace::record(obs::EventKind::StrandPark, v.0 as u64);
-                    let vp = v.0;
-                    std::mem::forget(v); // ownership parks with the vertex
-                                         // SAFETY: touch_await installed the count-2 counter
-                                         // and registered exactly one out-set waker; this is
-                                         // the executor's single matching decrement.
-                    if unsafe { crate::futures::resolve_dependent::<C>(vp) } {
-                        worker.push(VertexPtr(vp));
+        match body {
+            None => BodyOutcome::Ran,
+            Some(TakenBody::Boxed(body)) => {
+                body(Ctx { vertex: &mut v, worker, cfg, resumable: false });
+                BodyOutcome::Ran
+            }
+            Some(TakenBody::Inline(body)) => {
+                body.invoke(Ctx { vertex: &mut v, worker, cfg, resumable: false });
+                BodyOutcome::Ran
+            }
+            Some(TakenBody::Strand(mut frame)) => {
+                let poll = {
+                    let mut ctx = Ctx { vertex: &mut v, worker, cfg, resumable: true };
+                    frame.resume(&mut ctx)
+                };
+                match poll {
+                    StrandPoll::Done(()) => {
+                        // A leftover armed park (Done after a Parked
+                        // touch_await) is caught by the epilogue check
+                        // below, which every non-parking exit path
+                        // funnels through. Frame drops here; fall through
+                        // to the signal epilogue like any completed body.
+                        BodyOutcome::Ran
                     }
-                    return;
+                    StrandPoll::Parked => BodyOutcome::Parked(frame),
                 }
             }
+        }
+    }));
+    match outcome {
+        Ok(BodyOutcome::Ran) => {}
+        Ok(BodyOutcome::Parked(frame)) => {
+            assert!(
+                v.park_pending,
+                "strand returned Parked without a parked touch_await \
+                 (nothing would ever resume it)"
+            );
+            // Commit the park. The frame goes back into the
+            // vertex, then we release our half of the count-2
+            // handshake touch_await armed: one decrement belongs
+            // to the fulfiller's sweep, one to us, and whoever
+            // lands second zeroes the counter and reschedules
+            // the vertex. Decrement-last makes every field write
+            // above it visible to the resuming executor through
+            // the counter's release/acquire edge — after our
+            // decrement we own nothing.
+            v.body = BodySlot::Strand(frame);
+            worker.note_suspend();
+            obs::counter!("spdag.strand_suspend").inc();
+            obs::trace::record(obs::EventKind::StrandPark, v.0 as u64);
+            let vp = v.0;
+            std::mem::forget(v); // ownership parks with the vertex
+                                 // SAFETY: touch_await installed the count-2 counter
+                                 // and registered exactly one out-set waker; this is
+                                 // the executor's single matching decrement.
+            if unsafe { crate::futures::resolve_dependent::<C>(vp) } {
+                worker.push(VertexPtr(vp));
+            }
+            return;
+        }
+        Err(payload) => {
+            obs::counter!("spdag.body_panics").inc();
+            worker.record_panic(payload);
+            if v.park_pending {
+                // The body panicked *after* a Parked touch_await
+                // registered this vertex on a future's out-set (user code
+                // only regains control once the registration is in; see
+                // docs/robustness.md for the window argument). The
+                // fulfill side holds the other half of the count-2
+                // handshake and will deliver to this address, so the
+                // vertex must stay alive: commit the park exactly as the
+                // Parked arm does, but with an empty body — the frame
+                // already dropped during the unwind, releasing its slab
+                // through the normal StrandFrame path. The resumption
+                // finds BodySlot::None, runs nothing, and falls through
+                // to the signal epilogue, so the scope still drains.
+                worker.note_suspend();
+                obs::counter!("spdag.strand_suspend").inc();
+                obs::trace::record(obs::EventKind::StrandPark, v.0 as u64);
+                let vp = v.0;
+                std::mem::forget(v);
+                // SAFETY: as in the Parked commit — the armed count-2
+                // counter is in place and exactly one out-set waker holds
+                // the other decrement.
+                if unsafe { crate::futures::resolve_dependent::<C>(vp) } {
+                    worker.push(VertexPtr(vp));
+                }
+                return;
+            }
+            // Fall through to the signal epilogue: a panicked vertex
+            // still signals fin (its children, if any spawn/chain landed
+            // before the panic, are already scheduled and carry their own
+            // obligations), so the enclosing scope drains to the final
+            // vertex and conservation holds with zero leaked vertices.
         }
     }
     if v.park_pending {
@@ -385,9 +452,38 @@ pub fn run_dag_boxed<C: CounterFamily>(
     run_dag_slot::<C>(cfg, workers, BodySlot::from_boxed(root))
 }
 
+/// As [`run_dag`], with a [`sched::WatchdogCfg`] stall monitor attached:
+/// if no vertex executes for the configured timeout while the dag is
+/// unfinished, the watchdog dumps queue/counter/trace diagnostics and
+/// fails the run with that report instead of hanging (see
+/// `docs/robustness.md` for the report format). Tests and the bench
+/// harness use this so a reintroduced lost-wakeup or leaked-dependency
+/// bug dies in seconds, not a CI timeout.
+pub fn run_dag_watched<C, F>(
+    cfg: C::Config,
+    workers: usize,
+    watchdog: sched::WatchdogCfg,
+    root: F,
+) -> DagRunStats
+where
+    C: CounterFamily,
+    F: for<'b> FnOnce(Ctx<'b, C>) + Send + 'static,
+{
+    run_dag_inner::<C>(cfg, workers, Some(watchdog), BodySlot::from_closure(root))
+}
+
 fn run_dag_slot<C: CounterFamily>(
     cfg: C::Config,
     workers: usize,
+    root: BodySlot<C>,
+) -> DagRunStats {
+    run_dag_inner::<C>(cfg, workers, None, root)
+}
+
+fn run_dag_inner<C: CounterFamily>(
+    cfg: C::Config,
+    workers: usize,
+    watchdog: Option<sched::WatchdogCfg>,
     root: BodySlot<C>,
 ) -> DagRunStats {
     // Final vertex z: one dependency (the root strand), no finish of its
@@ -423,10 +519,13 @@ fn run_dag_slot<C: CounterFamily>(
     );
     let start = Instant::now();
     let cfg_ref = &cfg;
-    let pool =
-        sched::run(workers, vec![VertexPtr(u)], Termination::DoneFlag, move |worker, ptr| {
-            execute_vertex::<C>(cfg_ref, worker, ptr)
-        });
+    let interp =
+        move |worker: &WorkerCtx<'_, VertexPtr<C>>, ptr| execute_vertex::<C>(cfg_ref, worker, ptr);
+    let roots = vec![VertexPtr(u)];
+    let pool = match watchdog {
+        None => sched::run(workers, roots, Termination::DoneFlag, interp),
+        Some(w) => sched::run_watched(workers, roots, Termination::DoneFlag, w, interp),
+    };
     DagRunStats { pool, elapsed: start.elapsed() }
 }
 

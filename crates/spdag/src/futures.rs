@@ -140,10 +140,26 @@ impl<T, O: OutsetFamily> FutureCore<T, O> {
     /// completion (a swept/bounced dependent, or after observing
     /// `completed == true`).
     unsafe fn value_ref(&self) -> &T {
+        // SAFETY: as documented on this function.
+        unsafe { self.value_opt() }.expect(
+            "future poisoned: its body panicked before publishing a value \
+             (the original panic is re-raised at the run_dag caller)",
+        )
+    }
+
+    /// The value if one was published; `None` for a *poisoned* future —
+    /// one whose body panicked before reaching its `ValueSetter`, leaving
+    /// the completion vertex to run (the dag drains to completion under
+    /// panic isolation) with nothing to deliver.
+    ///
+    /// # Safety
+    /// Same contract as [`value_ref`](FutureCore::value_ref): callable
+    /// only from code ordered strictly after completion.
+    unsafe fn value_opt(&self) -> Option<&T> {
         debug_assert!(self.completed.load(Ordering::SeqCst));
-        // SAFETY: the write happened-before per the caller contract, and
-        // no write can happen again (the body runs once).
-        unsafe { (*self.value.get()).as_ref().expect("future value published at completion") }
+        // SAFETY: the write (if any) happened-before per the caller
+        // contract, and no write can happen again (the body runs once).
+        unsafe { (*self.value.get()).as_ref() }
     }
 }
 
@@ -263,15 +279,30 @@ impl<T: Send + Sync + 'static, O: OutsetFamily> FutureHandle<T, O> {
         self.core.completed.load(Ordering::SeqCst)
     }
 
-    /// The value, if the future has already completed.
+    /// The value, if the future has already completed *and* published a
+    /// value. `None` means not-yet-complete **or** poisoned — disambiguate
+    /// with [`is_poisoned`](FutureHandle::is_poisoned). This is the
+    /// non-panicking query surface for poisoned runs; the blocking
+    /// surfaces ([`Ctx::touch_await`], the async bridge) panic with a
+    /// descriptive poisoned-future message instead of hanging.
     pub fn try_get(&self) -> Option<&T> {
         if self.is_done() {
             // SAFETY: observing `completed` orders this read after the
-            // value write (see FutureCore safety comment).
-            Some(unsafe { self.core.value_ref() })
+            // value write, if any (see FutureCore safety comment).
+            unsafe { self.core.value_opt() }
         } else {
             None
         }
+    }
+
+    /// Whether the future completed *without* publishing a value: its
+    /// body panicked under panic isolation and the dag drained past it.
+    /// The original panic payload is re-raised at the `run_dag` caller;
+    /// this probe exists for dependents that run before the drain ends
+    /// (e.g. a sibling's touch continuation).
+    pub fn is_poisoned(&self) -> bool {
+        // SAFETY: `is_done` orders the read after completion.
+        self.is_done() && unsafe { self.core.value_opt() }.is_none()
     }
 
     /// Method-style alias for [`Ctx::touch`].
@@ -678,9 +709,19 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         let body = BodySlot::from_closure(move |c: Ctx<'_, C>| {
             // SAFETY: this vertex is scheduled only by the completion
             // sweep or the post-seal bounce, both ordered after the value
-            // write.
-            let value = unsafe { core.value_ref() };
-            then(c, value);
+            // write (if any).
+            match unsafe { core.value_opt() } {
+                Some(value) => then(c, value),
+                None => {
+                    // Poisoned: the future's body panicked and published
+                    // nothing. Skip the continuation closure — its
+                    // payload-producing panic is already being re-raised
+                    // at the run caller — but let this vertex fall
+                    // through to its signal epilogue so the scope still
+                    // drains (the closure and its captures drop here).
+                    obs::counter!("spdag.poisoned_touches").inc();
+                }
+            }
         });
         // The waiting vertex takes over u's scope position (inc, pair,
         // fin, side) like a chain continuation, and waits on exactly one
@@ -688,6 +729,7 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         let w_ptr = Vertex::alloc(self.cfg, 1, u.inc, u.dec.clone(), u.fin, u.is_left, body);
         u.dead = true;
         let token = w_ptr as usize as u64;
+        force_bounce_hold::<O>(&future.core.outset);
         match O::add(&future.core.outset, token, self.worker.worker_id() as u64) {
             AddEdge::Registered => {
                 // The sweep owns delivery; nothing more to do here.
@@ -745,10 +787,15 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
         );
         if future.is_done() {
             // SAFETY: observing `completed` orders this read after the
-            // value write (see FutureCore).
+            // value write (see FutureCore); `value_ref` panics with the
+            // poisoned-future message if the body panicked before
+            // publishing — a descriptive error at the await site instead
+            // of a hang, re-raised (second to the original payload) at
+            // the run caller.
             return StrandTouch::Ready(unsafe { future.core.value_ref() });
         }
         obs::counter!("spdag.touch_awaits").inc();
+        force_bounce_hold::<O>(&future.core.outset);
         // Arm before registering: the count-2 counter must be in place
         // before the sweep can possibly deliver. Overwriting the vertex's
         // `counter` is sound — an executing vertex's own counter is never
@@ -810,6 +857,24 @@ impl<'a, C: CounterFamily> Ctx<'a, C> {
 /// `w` must be a waiting vertex (a `touch` continuation or a parked
 /// strand), not scheduled, and the caller must hold one — exactly one —
 /// of its pending delivery rights.
+/// Failpoint hook (no-op unless `fault-inject` arms `spdag.force_bounce`):
+/// hold an imminent touch registration until the future's out-set seals,
+/// so `O::add` deterministically takes the [`AddEdge::Finished`] bounce
+/// path. The spin is bounded — the future's body may be *behind* this
+/// very worker in its own deque (guaranteed at W = 1), in which case
+/// waiting forever would deadlock; an expired budget just means the
+/// registration proceeds normally.
+fn force_bounce_hold<O: OutsetFamily>(outset: &O::Outset) {
+    if sched::failpoint::fire("spdag.force_bounce") {
+        for _ in 0..200_000 {
+            if O::is_finished(outset) {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
 pub(crate) unsafe fn resolve_dependent<C: CounterFamily>(w: *mut Vertex<C>) -> bool {
     // Project straight to the counter field: materializing `&Vertex`
     // here would claim read validity over the *whole* struct while the

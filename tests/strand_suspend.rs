@@ -63,9 +63,11 @@ fn deep_chain<C: CounterFamily>(cfg: C::Config, workers: usize, depth: u64) {
 /// registration. (It used to be able to ignore the `Parked` result and
 /// fall through to retirement with its address still registered — a
 /// use-after-free in waiting.) W=1 makes the future deterministically
-/// unready: the only worker is still inside the root body.
+/// unready: the only worker is still inside the root body. Since the
+/// pool captures worker panics, the call-site payload itself reaches
+/// the caller.
 #[test]
-#[should_panic(expected = "worker panicked")]
+#[should_panic(expected = "touch_await outside a strand resumption")]
 fn touch_await_from_one_shot_body_panics_before_registering() {
     let _g = serial();
     run_dag::<DynSnzi, _>(DynConfig::default(), 1, |mut ctx| {
@@ -78,9 +80,10 @@ fn touch_await_from_one_shot_body_panics_before_registering() {
 /// claims `Done` (instead of propagating `Parked`) must be caught by the
 /// executor's epilogue — the vertex is leaked, never retired, because
 /// its address is live on the future's out-set. W=1 + LIFO owner pops
-/// make the future deterministically unready when the strand runs.
+/// make the future deterministically unready when the strand runs. The
+/// pool propagates the epilogue's own payload to the caller.
 #[test]
-#[should_panic(expected = "worker panicked")]
+#[should_panic(expected = "parked touch_await still armed")]
 fn strand_done_after_parked_touch_is_caught() {
     let _g = serial();
     run_dag::<DynSnzi, _>(DynConfig::default(), 1, |mut ctx| {
